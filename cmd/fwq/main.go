@@ -1,0 +1,118 @@
+// Command fwq runs the Fixed Work Quanta noise benchmark (Sec. 6.2) on a
+// simulated node or group of nodes under either OS, printing the paper's
+// metrics: minimum/maximum iteration time, maximum noise length, and the
+// Eq. 2 noise rate.
+//
+// Usage:
+//
+//	fwq [-platform fugaku|ofp] [-os linux|mckernel] [-nodes 1] [-minutes 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mkos/internal/apps"
+	"mkos/internal/cluster"
+	"mkos/internal/noise"
+	"mkos/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fwq: ")
+	platform := flag.String("platform", "fugaku", "platform: fugaku or ofp")
+	osName := flag.String("os", "linux", "operating system: linux or mckernel")
+	nodes := flag.Int("nodes", 1, "number of nodes to measure")
+	minutes := flag.Float64("minutes", 1, "run length in minutes")
+	workUS := flag.Float64("work", 6500, "work quantum in microseconds (paper: 6500)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	perNode := flag.Bool("per-node", false, "print per-node statistics")
+	ftq := flag.Bool("ftq", false, "run the FTQ (fixed time quanta) variant instead of FWQ")
+	flag.Parse()
+
+	var p *cluster.Platform
+	switch *platform {
+	case "fugaku":
+		p = cluster.Fugaku()
+	case "ofp":
+		p = cluster.OFP()
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+	var kind cluster.OSKind
+	switch *osName {
+	case "linux":
+		kind = cluster.Linux
+	case "mckernel":
+		kind = cluster.McKernel
+	default:
+		log.Fatalf("unknown OS %q", *osName)
+	}
+
+	node, err := p.NewNode(kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *ftq {
+		runFTQ(p, kind, node, *workUS, *minutes, *seed)
+		return
+	}
+	cfg := apps.FWQConfig{
+		Work:     time.Duration(*workUS * float64(time.Microsecond)),
+		Duration: time.Duration(*minutes * float64(time.Minute)),
+		Cores:    node.AppCores(),
+	}
+	analyses, _, err := apps.FWQAcrossNodes(cfg, node.OS(), *nodes, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *perNode {
+		for i, a := range analyses {
+			fmt.Printf("node %4d: iters=%d Tmin=%v Tmax=%v max_noise=%v rate=%.3g\n",
+				i, a.N, a.Tmin, a.Tmax, a.MaxNoise, a.Rate)
+		}
+	}
+	m, err := noise.Merge(analyses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FWQ on %s/%s: %d node(s), %d cores/node, quantum %v, duration %v\n",
+		p.Name, kind, *nodes, len(cfg.Cores), cfg.Work, cfg.Duration)
+	fmt.Printf("  iterations        %d\n", m.N)
+	fmt.Printf("  Tmin              %v\n", m.Tmin)
+	fmt.Printf("  Tmax              %v\n", m.Tmax)
+	fmt.Printf("  max noise length  %v\n", m.MaxNoise)
+	fmt.Printf("  noise rate (Eq.2) %.3g\n", m.Rate)
+}
+
+// runFTQ executes the fixed-time-quanta companion benchmark.
+func runFTQ(p *cluster.Platform, kind cluster.OSKind, node *cluster.Node, quantumUS, minutes float64, seed int64) {
+	cfg := apps.FTQConfig{
+		Quantum:  time.Duration(quantumUS * float64(time.Microsecond)),
+		UnitWork: time.Microsecond,
+		Duration: time.Duration(minutes * float64(time.Minute)),
+		Cores:    node.AppCores(),
+	}
+	tl := node.OS().NoiseProfile().Timeline(cfg.Duration, simRand(seed))
+	run, err := apps.RunFTQ(cfg, tl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := run.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FTQ on %s/%s: %d cores, quantum %v, unit %v, duration %v\n",
+		p.Name, kind, len(cfg.Cores), cfg.Quantum, cfg.UnitWork, cfg.Duration)
+	fmt.Printf("  quanta            %d\n", a.N)
+	fmt.Printf("  max work units    %d\n", a.MaxCount)
+	fmt.Printf("  min work units    %d\n", a.MinCount)
+	fmt.Printf("  max loss          %v\n", a.MaxLoss)
+	fmt.Printf("  loss rate         %.3g\n", a.LossRate)
+}
+
+// simRand builds the seeded generator the FTQ path uses.
+func simRand(seed int64) *sim.Rand { return sim.NewRand(seed) }

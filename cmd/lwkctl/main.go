@@ -1,0 +1,131 @@
+// Command lwkctl drives the IHK/McKernel management flow on a simulated
+// node, mirroring the real stack's ihkconfig/ihkosctl tooling: reserve CPU
+// cores and memory from the running Linux, boot the LWK, spawn a process,
+// print the partition status, and tear everything down.
+//
+// Usage:
+//
+//	lwkctl [-platform fugaku|ofp] [-cores N] [-mem-gb G] [-spawn name:threads]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"mkos/internal/cluster"
+	"mkos/internal/ihk"
+	"mkos/internal/kernel"
+	"mkos/internal/linux"
+	"mkos/internal/mckernel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lwkctl: ")
+	platform := flag.String("platform", "fugaku", "platform: fugaku or ofp")
+	cores := flag.Int("cores", 0, "application cores to reserve (0 = all)")
+	memGB := flag.Int64("mem-gb", 2, "memory to reserve per NUMA domain, GiB")
+	spawn := flag.String("spawn", "a.out:4", "process to spawn as name:threads")
+	flag.Parse()
+
+	var p *cluster.Platform
+	switch *platform {
+	case "fugaku":
+		p = cluster.Fugaku()
+	case "ofp":
+		p = cluster.OFP()
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+
+	host, err := linux.NewKernel(p.NewTopology(), p.Tuning, p.MemBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host linux booted: %s, %d cores (%d app + %d assistant)\n",
+		host.Name(), host.Topo.NumCores(), len(host.Topo.AppCores()), len(host.Topo.AssistantCores()))
+
+	mgr := ihk.NewManager(host)
+	appCores := host.Topo.AppCores()
+	n := *cores
+	if n <= 0 || n > len(appCores) {
+		n = len(appCores)
+	}
+	if err := mgr.ReserveCPUs(appCores[:n]); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.ReserveMemory(*memGB << 30); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ihk: reserved cpus %v (%d), %d GiB total\n",
+		compact(mgr.ReservedCPUs()), n, mgr.ReservedMemoryBytes()>>30)
+
+	part, err := mgr.Boot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lwk, err := mckernel.Boot(host, part, mckernel.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mckernel: booted (%s), %d MiB LWK-managed memory\n",
+		lwk.Name(), lwk.LWKMem.TotalBytes()>>20)
+
+	name, threads, err := parseSpawn(*spawn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc, err := lwk.Spawn(name, threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spawned pid %d (%s) with %d threads; proxy on linux cores %s\n",
+		proc.PID, proc.Name, len(proc.Threads), proc.Proxy().Task.Affinity)
+
+	fmt.Printf("\nstatus:\n")
+	fmt.Printf("  booted            %v\n", mgr.Booted())
+	fmt.Printf("  lwk cores         %d\n", len(part.Cores))
+	fmt.Printf("  lwk memory        %d MiB (%d MiB allocated)\n",
+		lwk.LWKMem.TotalBytes()>>20, lwk.LWKMem.AllocatedBytes()>>20)
+	fmt.Printf("  syscall mmap      %v (linux: %v)\n",
+		lwk.SyscallCost(kernel.SysMmap), host.SyscallCosts().Cost(kernel.SysMmap))
+	fmt.Printf("  syscall open      %v (linux: %v)\n",
+		lwk.SyscallCost(kernel.SysOpen), host.SyscallCosts().Cost(kernel.SysOpen))
+	fmt.Printf("  ikc messages      %d\n", lwk.IKC.Messages())
+
+	if err := lwk.Exit(proc, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.ReleaseMemory(); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.ReleaseCPUs(mgr.ReservedCPUs()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshutdown complete; all resources returned to linux\n")
+}
+
+// parseSpawn splits "name:threads".
+func parseSpawn(s string) (string, int, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("bad -spawn %q, want name:threads", s)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return "", 0, fmt.Errorf("bad thread count in %q", s)
+	}
+	return parts[0], n, nil
+}
+
+// compact renders a sorted core list as ranges.
+func compact(cores []int) string {
+	m := kernel.NewCPUMask(cores...)
+	return m.String()
+}

@@ -1,0 +1,143 @@
+// Command mkexp runs the application-level Linux-vs-IHK/McKernel
+// comparisons of Figures 5, 6 and 7: relative performance (Linux normalized
+// to 1.0) across node counts for the CORAL mini-apps on Oakforest-PACS and
+// the Fugaku-project applications on both platforms.
+//
+// Usage:
+//
+//	mkexp -figure 5              # AMG2013 / MILC / LULESH on OFP
+//	mkexp -figure 6              # LQCD / GeoFEM / GAMERA on OFP
+//	mkexp -figure 7              # LQCD / GeoFEM / GAMERA on Fugaku
+//	mkexp -platform fugaku -app GAMERA -nodes 128,512,2048,8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"mkos/internal/apps"
+	"mkos/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mkexp: ")
+	figure := flag.String("figure", "", "regenerate a whole figure: 5, 6 or 7")
+	platform := flag.String("platform", "ofp", "platform for -app mode: ofp or fugaku")
+	appName := flag.String("app", "", "single application to run (AMG2013, Milc, Lulesh, LQCD, GeoFEM, GAMERA)")
+	nodeList := flag.String("nodes", "", "comma-separated node counts for -app mode")
+	runs := flag.Int("runs", 3, "runs per data point (the paper uses >=3)")
+	seed := flag.Int64("seed", 1, "base seed; run i uses seed+i")
+	isolation := flag.Bool("isolation", false, "run the co-location isolation experiment instead of a figure")
+	metrics := flag.Bool("metrics", false, "also print each application's custom metric (FOM, TFLOPS, ...)")
+	flag.Parse()
+	showMetrics = *metrics
+
+	if *isolation {
+		runIsolation(*platform, *appName, *nodeList, *seed)
+		return
+	}
+
+	seeds := make([]int64, *runs)
+	for i := range seeds {
+		seeds[i] = *seed + int64(i)
+	}
+
+	switch {
+	case *figure != "":
+		var specs []core.FigureSpec
+		switch *figure {
+		case "5":
+			specs = core.Figure5Specs()
+		case "6":
+			specs = core.Figure6Specs()
+		case "7":
+			specs = core.Figure7Specs()
+		default:
+			log.Fatalf("unknown figure %q (want 5, 6 or 7)", *figure)
+		}
+		for _, spec := range specs {
+			run(spec, seeds)
+		}
+	case *appName != "":
+		p := apps.OnOFP
+		if strings.HasPrefix(strings.ToLower(*platform), "fugaku") {
+			p = apps.OnFugaku
+		}
+		nodes, err := parseNodes(*nodeList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(core.FigureSpec{Figure: "custom", Platform: p, App: *appName, Nodes: nodes}, seeds)
+	default:
+		log.Fatal("choose -figure 5|6|7 or -app NAME -nodes N1,N2,...")
+	}
+}
+
+// runIsolation executes the Sec. 8 co-location experiment.
+func runIsolation(platform, appName, nodeList string, seed int64) {
+	p := apps.OnOFP
+	if strings.HasPrefix(strings.ToLower(platform), "fugaku") {
+		p = apps.OnFugaku
+	}
+	if appName == "" {
+		appName = "GeoFEM"
+	}
+	nodes := 256
+	if nodeList != "" {
+		ns, err := parseNodes(nodeList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = ns[0]
+	}
+	cg, mk, err := core.CompareIsolation(p, appName, nodes, core.AnalyticsTenant(), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# co-location isolation: %s on %s at %d nodes (tenant: in-situ analytics)\n", appName, p, nodes)
+	fmt.Printf("%-14s slowdown=%.4f (alone %v, co-located %v)\n", cg.Mode, cg.Slowdown, cg.AloneRuntime.Round(0), cg.CoRuntime.Round(0))
+	fmt.Printf("%-14s slowdown=%.4f (alone %v, co-located %v)\n", mk.Mode, mk.Slowdown, mk.AloneRuntime.Round(0), mk.CoRuntime.Round(0))
+}
+
+func parseNodes(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("provide -nodes, e.g. -nodes 64,256,1024")
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad node count %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// showMetrics controls custom-metric output in run().
+var showMetrics bool
+
+func run(spec core.FigureSpec, seeds []int64) {
+	results, err := core.RunFigure(spec, seeds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n# Figure %s: %s on %s (relative performance, Linux = 1.0)\n",
+		spec.Figure, spec.App, spec.Platform)
+	fmt.Printf("%-8s %10s %8s %16s %16s\n", "nodes", "mckernel", "+/-", "linux_runtime", "mck_runtime")
+	app, appErr := apps.ByName(spec.App, spec.Platform)
+	for _, c := range results {
+		fmt.Printf("%-8d %10.3f %8.3f %16s %16s",
+			c.Nodes, c.Relative, c.RelErr, c.LinuxRuntime.Round(0), c.McKRuntime.Round(0))
+		if showMetrics && appErr == nil {
+			lin := app.MetricFor(c.LinuxRuntime, c.Nodes)
+			mck := app.MetricFor(c.McKRuntime, c.Nodes)
+			fmt.Printf("   linux %s | mckernel %s", lin, mck)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,140 @@
+// Command noiseprofile regenerates the noise experiments of Figures 3 and 4:
+// FWQ noise-length time series under individual countermeasures (-series)
+// and the FWQ latency cumulative distribution functions comparing Linux with
+// IHK/McKernel on both platforms (-cdf).
+//
+// Usage:
+//
+//	noiseprofile -series [-countermeasure daemons|kworkers|blkmq|pmu|tlbi|none]
+//	noiseprofile -cdf [-ofp-nodes 256] [-fugaku-full 1024] [-fugaku-racks 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mkos/internal/apps"
+	"mkos/internal/cluster"
+	"mkos/internal/core"
+	"mkos/internal/noise"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noiseprofile: ")
+	series := flag.Bool("series", false, "emit a Figure 3 style noise-length time series")
+	cm := flag.String("countermeasure", "none", "countermeasure to disable for -series (none|daemons|kworkers|blkmq|pmu|tlbi)")
+	cdf := flag.Bool("cdf", false, "emit the Figure 4 latency CDFs")
+	attribute := flag.Bool("attribute", false, "emit the ftrace-style per-source interference attribution")
+	ofpNodes := flag.Int("ofp-nodes", 256, "OFP node subsample (paper: 1,024)")
+	fugakuFull := flag.Int("fugaku-full", 1024, "Fugaku full-scale subsample (paper: 158,976)")
+	fugakuRacks := flag.Int("fugaku-racks", 128, "Fugaku 24-rack subsample (paper: 9,216)")
+	minutes := flag.Float64("minutes", 2, "FWQ duration per run in minutes")
+	seed := flag.Int64("seed", 20211114, "simulation seed")
+	points := flag.Int("points", 40, "CDF points per curve")
+	iterations := flag.Int("iterations", 1, "repeat the CDF measurement N times and merge (paper: 10 x ~6 min = 1 hour)")
+	flag.Parse()
+
+	switch {
+	case *attribute:
+		runAttribute(*cm, time.Duration(*minutes*float64(time.Minute)), *seed)
+	case *series:
+		runSeries(*cm, time.Duration(*minutes*float64(time.Minute)), *seed)
+	case *cdf:
+		runCDF(core.Figure4Config{
+			OFPNodes: *ofpNodes, FugakuFullNodes: *fugakuFull, Fugaku24Racks: *fugakuRacks,
+			Duration: time.Duration(*minutes * float64(time.Minute)), WorstNodes: 100, Seed: *seed,
+		}, *points, *iterations)
+	default:
+		log.Fatal("choose -series or -cdf")
+	}
+}
+
+// runAttribute prints the per-source stolen-time attribution on app cores —
+// the Sec. 4.2.1 ftrace methodology.
+func runAttribute(cm string, dur time.Duration, seed int64) {
+	p := cluster.Fugaku()
+	applyCountermeasure(p, cm)
+	node, err := p.NewNode(cluster.Linux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attr := node.Host.AttributeProfile(dur, seed)
+	fmt.Printf("# interference attribution on application cores over %v (countermeasure disabled: %s)\n", dur, cm)
+	for _, a := range attr {
+		fmt.Println(a)
+	}
+}
+
+func applyCountermeasure(p *cluster.Platform, cm string) {
+	switch cm {
+	case "none":
+	case "daemons":
+		p.Tuning.Counter.BindDaemons = false
+	case "kworkers":
+		p.Tuning.Counter.BindKworkers = false
+	case "blkmq":
+		p.Tuning.Counter.BindBlkMQ = false
+	case "pmu":
+		p.Tuning.Counter.StopPMUReads = false
+	case "tlbi":
+		p.Tuning.Counter.SuppressGlobalTLBI = false
+	default:
+		log.Fatalf("unknown countermeasure %q", cm)
+	}
+}
+
+func runSeries(cm string, dur time.Duration, seed int64) {
+	p := cluster.Fugaku()
+	applyCountermeasure(p, cm)
+	node, err := p.NewNode(cluster.Linux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := apps.FWQConfig{Work: 6500 * time.Microsecond, Duration: dur, Cores: node.AppCores()[:1]}
+	analyses, _, err := apps.FWQAcrossNodes(cfg, node.Host, 1, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := noise.SeriesMicros(analyses[0].Lengths)
+	fmt.Printf("# Figure 3 noise-length time series, countermeasure disabled: %s\n", cm)
+	fmt.Printf("# sample_id noise_length_us\n")
+	for i := 0; i < s.Len(); i++ {
+		fmt.Printf("%d %.3f\n", int(s.T[i]), s.V[i])
+	}
+}
+
+func runCDF(cfg core.Figure4Config, points, iterations int) {
+	if iterations < 1 {
+		iterations = 1
+	}
+	curves, err := core.Figure4(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Additional iterations with derived seeds, merged per curve — the
+	// paper ran "ten iterations of measurements that last for approximately
+	// 6 minutes, capturing a noise profile that covers one hour altogether".
+	for it := 1; it < iterations; it++ {
+		next := cfg
+		next.Seed = cfg.Seed + int64(it)*1000003
+		more, err := core.Figure4(next)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range curves {
+			curves[i].CDF = noise.MergeDists([]*noise.IterationDist{curves[i].CDF, more[i].CDF})
+		}
+	}
+	fmt.Printf("# Figure 4: FWQ iteration-latency CDFs (worst %d nodes per config)\n", cfg.WorstNodes)
+	fmt.Printf("# node counts are subsamples of the paper's scales; see EXPERIMENTS.md\n")
+	for _, c := range curves {
+		fmt.Printf("\n# curve %s (%d nodes), max iteration %.2f us\n", c.Label, c.Nodes, c.CDF.Max())
+		fmt.Printf("# iteration_us cumulative_probability\n")
+		for _, pt := range c.CDF.Points(points) {
+			fmt.Printf("%.2f %.8f\n", pt.X, pt.Y)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command repro regenerates the paper's entire evaluation in one run —
+// Table 2, Figure 3 series, Figure 4 CDFs, and the Figure 5/6/7 application
+// sweeps — writing data files under -outdir and printing a paper-vs-measured
+// summary at the end.
+//
+// Usage:
+//
+//	repro              # full-scale run (several minutes)
+//	repro -quick       # reduced node counts and durations (~1 minute)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mkos/internal/apps"
+	"mkos/internal/core"
+	"mkos/internal/noise"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+	quick := flag.Bool("quick", false, "reduced scales for a fast smoke run")
+	outdir := flag.String("outdir", "results", "directory for generated data files")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+
+	// --- Table 2 ---
+	t2cfg := core.DefaultTable2Config()
+	if *quick {
+		t2cfg.Nodes, t2cfg.Duration = 4, time.Minute
+	}
+	fmt.Printf("[1/4] Table 2 (%d nodes, %v FWQ)...\n", t2cfg.Nodes, t2cfg.Duration)
+	rows, err := core.Table2(t2cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeFile(*outdir, "table2.txt", func(f *os.File) {
+		fmt.Fprintf(f, "%-32s %18s %12s\n", "Disabled technique", "Max noise (us)", "Noise rate")
+		for _, r := range rows {
+			fmt.Fprintf(f, "%-32s %18.2f %12.3g\n", r.Disabled,
+				float64(r.MaxNoise)/float64(time.Microsecond), r.NoiseRate)
+		}
+	})
+
+	// --- Figure 3 (series data is embedded in the Table 2 rows) ---
+	fmt.Printf("[2/4] Figure 3 noise series...\n")
+	writeFile(*outdir, "figure3.txt", func(f *os.File) {
+		for _, r := range rows {
+			s := noise.SeriesMicros(r.Lengths)
+			fmt.Fprintf(f, "# countermeasure disabled: %s (max %.1f us)\n", r.Disabled, s.MaxV())
+			// Thin the series for the file: every 64th sample plus peaks.
+			for i := 0; i < s.Len(); i++ {
+				if i%64 == 0 || s.V[i] > 100 {
+					fmt.Fprintf(f, "%d %.3f\n", int(s.T[i]), s.V[i])
+				}
+			}
+		}
+	})
+
+	// --- Figure 4 ---
+	f4cfg := core.DefaultFigure4Config()
+	if *quick {
+		f4cfg.OFPNodes, f4cfg.FugakuFullNodes, f4cfg.Fugaku24Racks = 32, 96, 12
+		f4cfg.Duration = 30 * time.Second
+	}
+	fmt.Printf("[3/4] Figure 4 CDFs (%d/%d/%d nodes)...\n",
+		f4cfg.OFPNodes, f4cfg.FugakuFullNodes, f4cfg.Fugaku24Racks)
+	curves, err := core.Figure4(f4cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeFile(*outdir, "figure4.txt", func(f *os.File) {
+		for _, c := range curves {
+			fmt.Fprintf(f, "# %s (%d nodes), tail %.2f us\n", c.Label, c.Nodes, c.CDF.Max())
+			for _, pt := range c.CDF.Points(40) {
+				fmt.Fprintf(f, "%.2f %.8f\n", pt.X, pt.Y)
+			}
+		}
+	})
+
+	// --- Figures 5, 6, 7 ---
+	seeds := []int64{1, 2, 3}
+	if *quick {
+		seeds = []int64{1}
+	}
+	fmt.Printf("[4/4] application figures...\n")
+	specs := append(append(core.Figure5Specs(), core.Figure6Specs()...), core.Figure7Specs()...)
+	type key struct{ fig, app string }
+	top := map[key]core.Comparison{}
+	writeFile(*outdir, "figures567.txt", func(f *os.File) {
+		for _, spec := range specs {
+			nodes := spec.Nodes
+			if *quick {
+				nodes = nodes[len(nodes)-1:] // top of sweep only
+			}
+			cs, err := core.Sweep(core.PlatformFor(spec.Platform),
+				mustApp(spec.App, spec.Platform), nodes, seeds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(f, "# figure %s: %s on %s\n", spec.Figure, spec.App, spec.Platform)
+			for _, c := range cs {
+				fmt.Fprintf(f, "%d %.4f %.4f\n", c.Nodes, c.Relative, c.RelErr)
+				top[key{spec.Figure, spec.App + "/" + string(spec.Platform)}] = c
+			}
+		}
+	})
+
+	// --- Summary ---
+	fmt.Printf("\n=== paper vs measured (top-of-sweep relative performance) ===\n")
+	paper := map[key]string{
+		{"5", "AMG2013/oakforest-pacs"}: "~1.18",
+		{"5", "Milc/oakforest-pacs"}:    "~1.22",
+		{"5", "Lulesh/oakforest-pacs"}:  "~2X",
+		{"6", "LQCD/oakforest-pacs"}:    "~1.25",
+		{"6", "GeoFEM/oakforest-pacs"}:  "~1.06",
+		{"6", "GAMERA/oakforest-pacs"}:  ">1.25",
+		{"7", "LQCD/fugaku"}:            "~1.00",
+		{"7", "GeoFEM/fugaku"}:          "~1.03",
+		{"7", "GAMERA/fugaku"}:          "~1.29",
+	}
+	for _, spec := range specs {
+		k := key{spec.Figure, spec.App + "/" + string(spec.Platform)}
+		c, ok := top[k]
+		if !ok {
+			continue
+		}
+		fmt.Printf("fig %s  %-8s %-15s paper %-6s measured %.3f (at %d nodes)\n",
+			spec.Figure, spec.App, spec.Platform, paper[k], c.Relative, c.Nodes)
+	}
+	fmt.Printf("\ndone in %v; data in %s/\n", time.Since(start).Round(time.Second), *outdir)
+}
+
+func mustApp(name string, p apps.PlatformName) apps.App {
+	app, err := apps.ByName(name, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return app
+}
+
+func writeFile(dir, name string, fill func(*os.File)) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	fill(f)
+}

@@ -1,0 +1,77 @@
+// fullcluster runs a compact version of the paper's whole evaluation: the
+// Fugaku-project applications on both platforms across a node-count sweep,
+// printing the relative-performance tables behind Figures 6 and 7 and the
+// cross-experiment average the paper's abstract quotes (~4% on Fugaku).
+//
+//	go run ./examples/fullcluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mkos/internal/apps"
+	"mkos/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	seeds := []int64{1, 2, 3}
+
+	sweeps := []struct {
+		platform apps.PlatformName
+		nodes    []int
+	}{
+		{apps.OnOFP, []int{64, 512, 2048}},
+		{apps.OnFugaku, []int{512, 2048, 8192}},
+	}
+
+	perPlatform := map[apps.PlatformName][]float64{}
+	for _, sweep := range sweeps {
+		fmt.Printf("=== %s (relative performance, Linux = 1.0) ===\n", sweep.platform)
+		fmt.Printf("%-8s", "nodes")
+		for _, app := range apps.FugakuSuite() {
+			fmt.Printf(" %12s", app)
+		}
+		fmt.Println()
+		rows := map[int][]string{}
+		for _, appName := range apps.FugakuSuite() {
+			app, err := apps.ByName(appName, sweep.platform)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cs, err := core.Sweep(core.PlatformFor(sweep.platform), app, sweep.nodes, seeds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, c := range cs {
+				rows[c.Nodes] = append(rows[c.Nodes], fmt.Sprintf("%6.3f±%.3f", c.Relative, c.RelErr))
+				perPlatform[sweep.platform] = append(perPlatform[sweep.platform], c.Relative)
+			}
+		}
+		for _, n := range sweep.nodes {
+			if len(rows[n]) == 0 {
+				continue
+			}
+			fmt.Printf("%-8d", n)
+			for _, cell := range rows[n] {
+				fmt.Printf(" %12s", cell)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	for _, p := range []apps.PlatformName{apps.OnOFP, apps.OnFugaku} {
+		rels := perPlatform[p]
+		if len(rels) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, r := range rels {
+			sum += r
+		}
+		fmt.Printf("average McKernel gain on %-16s %+.1f%%\n", p, (sum/float64(len(rels))-1)*100)
+	}
+	fmt.Printf("(paper: consistent wins on OFP; ~4%% average on Fugaku)\n")
+}

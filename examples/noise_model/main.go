@@ -1,0 +1,110 @@
+// noise_model explores the paper's analytic OS-noise delay estimator
+// (Eq. 1, Sec. 2) and validates it against the direct Monte-Carlo BSP
+// simulation used everywhere else in this repository.
+//
+//	go run ./examples/noise_model
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mkos/internal/bsp"
+	"mkos/internal/interconnect"
+	"mkos/internal/noise"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's worked example: N = 100,000 threads, S = 250 µs, one
+	// noise group with L = 1 ms every 500 s slows the application ~20%.
+	m := noise.AnalyticModel{Groups: []noise.Group{
+		{Name: "paper-example", Length: time.Millisecond, Every: 500 * time.Second},
+	}}
+	d, who, err := m.Slowdown(250*time.Microsecond, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Eq. 1 worked example (Sec. 2):\n")
+	fmt.Printf("  N=100,000  S=250us  L=1ms  I=500s  ->  %.1f%% slowdown (dominated by %s)\n\n", d*100, who)
+
+	// Full-scale Fugaku: 7,630,848 hardware threads. Even extremely rare
+	// noise saturates the hit probability.
+	fmt.Printf("Hit probability at full-scale Fugaku (N = 7,630,848, S = 250us):\n")
+	for _, every := range []time.Duration{time.Second, time.Minute, 10 * time.Minute, time.Hour} {
+		p := noise.HitProbability(250*time.Microsecond, every, 7630848)
+		fmt.Printf("  noise every %8v on a core -> P(some rank hit per step) = %.4f\n", every, p)
+	}
+
+	// How rare must 1 ms noise be to cost less than 1% at several scales?
+	fmt.Printf("\nMax tolerable 1ms-noise interval for <1%% slowdown (S = 1ms):\n")
+	for _, n := range []int{1024, 65536, 1048576, 7630848} {
+		ci := noise.CriticalInterval(time.Millisecond, time.Millisecond, n, 0.01)
+		fmt.Printf("  N=%9d threads -> noise must be rarer than every %v\n", n, ci.Round(time.Second))
+	}
+
+	// Validate Eq. 1 against the Monte-Carlo BSP engine: one synthetic
+	// noise group, weak scaling, compare predicted vs simulated slowdown.
+	// Parameters chosen in the regime Eq. 1 models: rare enough that at
+	// most one interruption lands in any rank's window, common enough that
+	// some rank is hit almost every step at this scale.
+	length := 300 * time.Microsecond
+	every := time.Second
+	s := 10 * time.Millisecond
+	threadsPerNode := 48
+	nodes := 64
+
+	profile := &noise.Profile{}
+	cores := make([]int, threadsPerNode)
+	for i := range cores {
+		cores[i] = i
+	}
+	if err := profile.Add(&noise.Source{
+		Name: "synthetic", Cores: cores, Mode: noise.TargetRandom,
+		Every: every / time.Duration(threadsPerNode), Length: length,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	analytic := noise.AnalyticModel{Groups: []noise.Group{
+		{Name: "synthetic", Length: length, Every: every},
+	}}
+	pred, _, err := analytic.Slowdown(s, nodes*threadsPerNode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := bsp.Workload{
+		Name: "synthetic-bsp", Scaling: bsp.WeakScaling, RefNodes: nodes,
+		Steps: 200, StepCompute: s,
+	}
+	machine := bsp.Machine{
+		OS:     syntheticOS{profile},
+		Fabric: interconnect.TofuD(),
+		Cores:  cores, RanksPerNode: 4, ThreadsPerRank: 12,
+	}
+	r, err := bsp.Run(w, machine, nodes, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured := float64(r.Breakdown.Noise) / float64(r.Breakdown.Compute)
+	fmt.Printf("\nEq. 1 vs Monte-Carlo BSP simulation (L=%v, I=%v, S=%v, %d nodes x %d threads):\n",
+		length, every, s, nodes, threadsPerNode)
+	fmt.Printf("  analytic predicted slowdown: %6.2f%%\n", pred*100)
+	fmt.Printf("  simulated measured slowdown: %6.2f%%\n", measured*100)
+}
+
+// syntheticOS is a noise-only OS model: every other cost is zero so the
+// comparison isolates the Eq. 1 mechanism.
+type syntheticOS struct {
+	profile *noise.Profile
+}
+
+func (o syntheticOS) Name() string                                     { return "synthetic" }
+func (o syntheticOS) NoiseProfile() *noise.Profile                     { return o.profile }
+func (o syntheticOS) TranslationOverhead(int64, time.Duration) float64 { return 0 }
+func (o syntheticOS) HeapChurnCost(int64, int, int) time.Duration      { return 0 }
+func (o syntheticOS) RDMARegistrationCost(int64) time.Duration         { return 0 }
+func (o syntheticOS) BarrierLatency(int) time.Duration                 { return 0 }
+func (o syntheticOS) CacheInterferenceFactor() float64                 { return 1 }

@@ -1,0 +1,3 @@
+module mkos
+
+go 1.22

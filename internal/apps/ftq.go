@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"errors"
+	"time"
+
+	"mkos/internal/noise"
+	"mkos/internal/sim"
+)
+
+// FTQConfig configures a Fixed Time Quanta run — the companion benchmark to
+// FWQ in the LLNL FTQ/FWQ suite the paper references [32]. Where FWQ fixes
+// the work and measures elapsed time, FTQ fixes the time quantum and counts
+// the work units completed inside it; noise appears as quanta with fewer
+// completed units.
+type FTQConfig struct {
+	// Quantum is the fixed sampling interval.
+	Quantum time.Duration
+	// UnitWork is the duration of one work unit (one loop iteration).
+	UnitWork time.Duration
+	// Duration is the total run length.
+	Duration time.Duration
+	// Cores to measure.
+	Cores []int
+}
+
+// DefaultFTQ mirrors the FWQ configuration: ~6.5 ms quanta with fine-grained
+// work units.
+func DefaultFTQ(cores []int) FTQConfig {
+	return FTQConfig{
+		Quantum:  6500 * time.Microsecond,
+		UnitWork: time.Microsecond,
+		Duration: time.Minute,
+		Cores:    cores,
+	}
+}
+
+// ErrBadFTQConfig reports an unusable configuration.
+var ErrBadFTQConfig = errors.New("apps: invalid FTQ configuration")
+
+// FTQRun holds per-core work counts per quantum.
+type FTQRun struct {
+	Config  FTQConfig
+	PerCore map[int][]int64
+}
+
+// RunFTQ executes the benchmark against a node's interruption timeline.
+func RunFTQ(cfg FTQConfig, tl *noise.Timeline) (*FTQRun, error) {
+	if cfg.Quantum <= 0 || cfg.UnitWork <= 0 || cfg.Duration <= 0 || len(cfg.Cores) == 0 {
+		return nil, ErrBadFTQConfig
+	}
+	if cfg.UnitWork > cfg.Quantum {
+		return nil, ErrBadFTQConfig
+	}
+	run := &FTQRun{Config: cfg, PerCore: make(map[int][]int64, len(cfg.Cores))}
+	quanta := int(cfg.Duration / cfg.Quantum)
+	for _, core := range cfg.Cores {
+		counts := make([]int64, 0, quanta)
+		t := sim.Time(0)
+		for q := 0; q < quanta; q++ {
+			qEnd := t.Add(cfg.Quantum)
+			// Work units complete while the clock is inside the quantum and
+			// the core is not stolen. Count how many UnitWork slots fit.
+			var done int64
+			cur := t
+			for cur < qEnd {
+				end := tl.Advance(core, cur, cfg.UnitWork)
+				if end > qEnd {
+					break // unit straddles the quantum boundary: not counted
+				}
+				done++
+				cur = end
+			}
+			counts = append(counts, done)
+			t = qEnd
+		}
+		run.PerCore[core] = counts
+	}
+	return run, nil
+}
+
+// FTQAnalysis carries the benchmark's noise metrics.
+type FTQAnalysis struct {
+	N        int
+	MaxCount int64 // best quantum (noise-free work capacity)
+	MinCount int64 // worst quantum
+	// MaxLoss is the largest per-quantum work deficit expressed as time
+	// (comparable to FWQ's max noise length).
+	MaxLoss time.Duration
+	// LossRate is the aggregate fraction of work capacity lost to noise
+	// (comparable to FWQ's Eq. 2 rate).
+	LossRate float64
+}
+
+// Analyze reduces a run to its noise metrics.
+func (r *FTQRun) Analyze() (FTQAnalysis, error) {
+	var all []int64
+	for _, counts := range r.PerCore {
+		all = append(all, counts...)
+	}
+	if len(all) == 0 {
+		return FTQAnalysis{}, ErrBadFTQConfig
+	}
+	a := FTQAnalysis{N: len(all), MaxCount: all[0], MinCount: all[0]}
+	var total, deficit int64
+	for _, c := range all {
+		if c > a.MaxCount {
+			a.MaxCount = c
+		}
+		if c < a.MinCount {
+			a.MinCount = c
+		}
+	}
+	for _, c := range all {
+		total += a.MaxCount
+		deficit += a.MaxCount - c
+	}
+	a.MaxLoss = time.Duration(a.MaxCount-a.MinCount) * r.Config.UnitWork
+	if total > 0 {
+		a.LossRate = float64(deficit) / float64(total)
+	}
+	return a, nil
+}

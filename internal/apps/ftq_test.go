@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mkos/internal/noise"
+	"mkos/internal/sim"
+)
+
+func TestFTQValidation(t *testing.T) {
+	tl := (&noise.Profile{}).Timeline(time.Second, sim.NewRand(1))
+	bad := []FTQConfig{
+		{},
+		{Quantum: time.Millisecond, UnitWork: time.Microsecond, Duration: time.Second},
+		{Quantum: time.Millisecond, UnitWork: 0, Duration: time.Second, Cores: []int{0}},
+		{Quantum: time.Microsecond, UnitWork: time.Millisecond, Duration: time.Second, Cores: []int{0}},
+	}
+	for i, cfg := range bad {
+		if _, err := RunFTQ(cfg, tl); !errors.Is(err, ErrBadFTQConfig) {
+			t.Fatalf("config %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestFTQNoiseFree(t *testing.T) {
+	tl := (&noise.Profile{}).Timeline(time.Second, sim.NewRand(1))
+	cfg := FTQConfig{
+		Quantum: time.Millisecond, UnitWork: 10 * time.Microsecond,
+		Duration: 100 * time.Millisecond, Cores: []int{0},
+	}
+	run, err := RunFTQ(cfg, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := run.PerCore[0]
+	if len(counts) != 100 {
+		t.Fatalf("quanta = %d, want 100", len(counts))
+	}
+	for _, c := range counts {
+		if c != 100 { // 1ms quantum / 10us units
+			t.Fatalf("noise-free count = %d, want 100", c)
+		}
+	}
+	a, err := run.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxLoss != 0 || a.LossRate != 0 {
+		t.Fatalf("noise-free run lost work: %+v", a)
+	}
+	if a.MaxCount != 100 || a.MinCount != 100 {
+		t.Fatalf("counts: %+v", a)
+	}
+}
+
+func TestFTQDetectsNoise(t *testing.T) {
+	p := &noise.Profile{}
+	p.MustAdd(&noise.Source{
+		Name: "spike", Cores: []int{0}, Mode: noise.TargetOne,
+		Every: 10 * time.Millisecond, Length: 200 * time.Microsecond,
+	})
+	tl := p.Timeline(time.Second, sim.NewRand(2))
+	cfg := FTQConfig{
+		Quantum: time.Millisecond, UnitWork: 10 * time.Microsecond,
+		Duration: time.Second, Cores: []int{0},
+	}
+	run, err := RunFTQ(cfg, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := run.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 200us spike in a 1ms quantum costs ~20 units.
+	if a.MaxLoss < 150*time.Microsecond || a.MaxLoss > 400*time.Microsecond {
+		t.Fatalf("MaxLoss = %v, want ~200us", a.MaxLoss)
+	}
+	if a.LossRate <= 0 {
+		t.Fatal("loss rate must be positive with noise")
+	}
+	// ~100 spikes/second of 200us over 1s of 1ms quanta: ~2% capacity loss.
+	if a.LossRate > 0.1 {
+		t.Fatalf("loss rate %v implausibly high", a.LossRate)
+	}
+}
+
+// TestFTQAgreesWithFWQ cross-validates the two benchmarks: the same noise
+// timeline must yield comparable noise pictures (FWQ max noise length vs FTQ
+// max loss).
+func TestFTQAgreesWithFWQ(t *testing.T) {
+	p := &noise.Profile{}
+	p.MustAdd(&noise.Source{
+		Name: "s", Cores: []int{0}, Mode: noise.TargetOne,
+		Every: 20 * time.Millisecond, Length: 300 * time.Microsecond, LengthCV: 0.2,
+	})
+	tl := p.Timeline(2*time.Second, sim.NewRand(5))
+
+	fwqRun, err := RunFWQ(FWQConfig{Work: 6500 * time.Microsecond, Duration: 2 * time.Second, Cores: []int{0}}, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwqA, err := fwqRun.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftqRun, err := RunFTQ(FTQConfig{
+		Quantum: 6500 * time.Microsecond, UnitWork: 5 * time.Microsecond,
+		Duration: 2 * time.Second, Cores: []int{0},
+	}, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftqA, err := ftqRun.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(ftqA.MaxLoss) / float64(fwqA.MaxNoise)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("FTQ max loss %v and FWQ max noise %v disagree (ratio %.2f)",
+			ftqA.MaxLoss, fwqA.MaxNoise, ratio)
+	}
+}
+
+func TestDefaultFTQ(t *testing.T) {
+	cfg := DefaultFTQ([]int{0})
+	if cfg.Quantum != 6500*time.Microsecond || cfg.UnitWork != time.Microsecond {
+		t.Fatalf("default = %+v", cfg)
+	}
+}

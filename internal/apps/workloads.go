@@ -1,0 +1,242 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"mkos/internal/bsp"
+)
+
+// PlatformName selects per-platform workload variants. The paper's LQCD and
+// GAMERA have separately optimized code bases per platform; GeoFEM has minor
+// tweaks; the CORAL apps exist only in x86-optimized form and therefore run
+// only on OFP (Sec. 6.2).
+type PlatformName string
+
+// Platforms.
+const (
+	OnOFP    PlatformName = "oakforest-pacs"
+	OnFugaku PlatformName = "fugaku"
+)
+
+// Geometries from the paper's Artifact Description appendix: on OFP, LQCD
+// ran 4 ranks x 32 threads, GeoFEM 16 x 8, GAMERA 8 x 8; on Fugaku every
+// application ran 4 ranks x 12 threads (one rank per CMG).
+var (
+	geomOFPCoral  = bsp.Geometry{RanksPerNode: 16, ThreadsPerRank: 16}
+	geomOFPLQCD   = bsp.Geometry{RanksPerNode: 4, ThreadsPerRank: 32}
+	geomOFPGeoFEM = bsp.Geometry{RanksPerNode: 16, ThreadsPerRank: 8}
+	geomOFPGamera = bsp.Geometry{RanksPerNode: 8, ThreadsPerRank: 8}
+	geomFugaku    = bsp.Geometry{RanksPerNode: 4, ThreadsPerRank: 12}
+)
+
+// App bundles a workload with its platform geometry and sweep limits.
+type App struct {
+	Workload bsp.Workload
+	Geometry bsp.Geometry
+	// MaxNodes is the largest node count the paper plots for this app on
+	// this platform.
+	MaxNodes int
+}
+
+// ErrUnknownApp reports an unsupported (app, platform) combination.
+type ErrUnknownApp struct {
+	Name     string
+	Platform PlatformName
+}
+
+func (e ErrUnknownApp) Error() string {
+	return fmt.Sprintf("apps: %s is not available on %s", e.Name, e.Platform)
+}
+
+// AMG2013 is the parallel algebraic multigrid solver from the CORAL suite
+// (x86-only build, Sec. 6.2). Multigrid cycles include setup-phase
+// allocations every step and frequent small reductions.
+func AMG2013(p PlatformName) (App, error) {
+	if p != OnOFP {
+		return App{}, ErrUnknownApp{"AMG2013", p}
+	}
+	return App{
+		Workload: bsp.Workload{
+			Name: "AMG2013", Scaling: bsp.StrongScaling, RefNodes: 8192,
+			Steps: 60, StepCompute: 20 * time.Millisecond,
+			WorkingSetPerRank: 512 << 20, MemAccessPeriod: 150 * time.Nanosecond,
+			HeapChurnPerStep: 8 << 20, HeapCallsPerStep: 16,
+			AllreduceBytes: 8, HaloBytes: 128 << 10, HaloFaces: 6,
+			InitCompute: 200 * time.Millisecond,
+		},
+		Geometry: geomOFPCoral, MaxNodes: 8192,
+	}, nil
+}
+
+// MILC is the MIMD Lattice Computation QCD code from the CORAL suite
+// (x86-only build).
+func MILC(p PlatformName) (App, error) {
+	if p != OnOFP {
+		return App{}, ErrUnknownApp{"Milc", p}
+	}
+	return App{
+		Workload: bsp.Workload{
+			Name: "Milc", Scaling: bsp.StrongScaling, RefNodes: 8192,
+			Steps: 80, StepCompute: 15 * time.Millisecond,
+			WorkingSetPerRank: 256 << 20, MemAccessPeriod: 120 * time.Nanosecond,
+			HeapChurnPerStep: 2 << 20, HeapCallsPerStep: 10,
+			AllreduceBytes: 64, HaloBytes: 256 << 10, HaloFaces: 8,
+			InitCompute: 150 * time.Millisecond,
+		},
+		Geometry: geomOFPCoral, MaxNodes: 8192,
+	}, nil
+}
+
+// LULESH is the Livermore shock-hydrodynamics proxy (x86-only build). Its
+// per-step temporary-array allocate/free cycle is the pathological case for
+// Linux heap management the paper highlights: the call count stays constant
+// under strong scaling while compute shrinks, so the glibc-trim/refault/
+// shootdown tax dominates at scale (≈2X on 8k OFP nodes, Sec. 6.4).
+func LULESH(p PlatformName) (App, error) {
+	if p != OnOFP {
+		return App{}, ErrUnknownApp{"Lulesh", p}
+	}
+	return App{
+		Workload: bsp.Workload{
+			Name: "Lulesh", Scaling: bsp.StrongScaling, RefNodes: 8192,
+			Steps: 100, StepCompute: 5 * time.Millisecond,
+			WorkingSetPerRank: 128 << 20, MemAccessPeriod: 140 * time.Nanosecond,
+			HeapChurnPerStep: 64 << 20, HeapCallsPerStep: 85,
+			AllreduceBytes: 8, HaloBytes: 96 << 10, HaloFaces: 6,
+			InitCompute: 100 * time.Millisecond,
+		},
+		Geometry: geomOFPCoral, MaxNodes: 8192,
+	}, nil
+}
+
+// LQCD is the CCS QCD linear-solver benchmark (BiCGStab on the Wilson-Dirac
+// operator). Separately optimized versions exist for both platforms; the
+// solver works in place with almost no heap churn, which is why tuned
+// Fugaku Linux matches McKernel on it (Figure 7a).
+func LQCD(p PlatformName) (App, error) {
+	switch p {
+	case OnOFP:
+		return App{
+			Workload: bsp.Workload{
+				Name: "LQCD", Scaling: bsp.StrongScaling, RefNodes: 2048,
+				Steps: 120, StepCompute: 11 * time.Millisecond,
+				WorkingSetPerRank: 1 << 30, MemAccessPeriod: 110 * time.Nanosecond,
+				HeapChurnPerStep: 0, HeapCallsPerStep: 2,
+				AllreduceBytes: 16, HaloBytes: 512 << 10, HaloFaces: 8,
+				InitCompute: 300 * time.Millisecond,
+			},
+			Geometry: geomOFPLQCD, MaxNodes: 2048,
+		}, nil
+	case OnFugaku:
+		return App{
+			Workload: bsp.Workload{
+				Name: "LQCD", Scaling: bsp.StrongScaling, RefNodes: 8192,
+				Steps: 120, StepCompute: 8 * time.Millisecond,
+				WorkingSetPerRank: 512 << 20, MemAccessPeriod: 90 * time.Nanosecond,
+				HeapChurnPerStep: 0, HeapCallsPerStep: 2,
+				AllreduceBytes: 16, HaloBytes: 512 << 10, HaloFaces: 8,
+				InitCompute: 300 * time.Millisecond,
+			},
+			Geometry: geomFugaku, MaxNodes: 8192,
+		}, nil
+	}
+	return App{}, ErrUnknownApp{"LQCD", p}
+}
+
+// GeoFEM is the 3-D linear-elasticity ICCG solver. Preconditioner setup
+// allocates work vectors every step; run-to-run variance reflects the
+// placement sensitivity the paper observed even under McKernel.
+func GeoFEM(p PlatformName) (App, error) {
+	switch p {
+	case OnOFP:
+		return App{
+			Workload: bsp.Workload{
+				Name: "GeoFEM", Scaling: bsp.StrongScaling, RefNodes: 8192,
+				Steps: 40, StepCompute: 90 * time.Millisecond,
+				WorkingSetPerRank: 512 << 20, MemAccessPeriod: 130 * time.Nanosecond,
+				HeapChurnPerStep: 16 << 20, HeapCallsPerStep: 30,
+				AllreduceBytes: 8, HaloBytes: 256 << 10, HaloFaces: 6,
+				InitCompute: 400 * time.Millisecond,
+				RunVariance: 0.02,
+			},
+			Geometry: geomOFPGeoFEM, MaxNodes: 8192,
+		}, nil
+	case OnFugaku:
+		return App{
+			Workload: bsp.Workload{
+				Name: "GeoFEM", Scaling: bsp.StrongScaling, RefNodes: 8192,
+				Steps: 40, StepCompute: 10 * time.Millisecond,
+				WorkingSetPerRank: 256 << 20, MemAccessPeriod: 100 * time.Nanosecond,
+				HeapChurnPerStep: 16 << 20, HeapCallsPerStep: 30,
+				AllreduceBytes: 8, HaloBytes: 256 << 10, HaloFaces: 6,
+				InitCompute: 400 * time.Millisecond,
+				RunVariance: 0.015,
+			},
+			Geometry: geomFugaku, MaxNodes: 8192,
+		}, nil
+	}
+	return App{}, ErrUnknownApp{"GeoFEM", p}
+}
+
+// GAMERA is the implicit unstructured-FEM seismic solver. It runs three big
+// solver steps after an initialization phase that registers tens of
+// thousands of RDMA buffers for its irregular communication graph — the
+// phase where the paper observed McKernel's LWK-integrated Tofu PicoDriver
+// winning (up to 29% at 8k Fugaku nodes, Sec. 6.4).
+func GAMERA(p PlatformName) (App, error) {
+	switch p {
+	case OnOFP:
+		return App{
+			Workload: bsp.Workload{
+				Name: "GAMERA", Scaling: bsp.StrongScaling, RefNodes: 4096,
+				Steps: 3, StepCompute: 500 * time.Millisecond,
+				WorkingSetPerRank: 2 << 30, MemAccessPeriod: 160 * time.Nanosecond,
+				HeapChurnPerStep: 32 << 20, HeapCallsPerStep: 24,
+				AllreduceBytes: 8, HaloBytes: 1 << 20, HaloFaces: 12,
+				InitCompute:       50 * time.Millisecond,
+				InitRegistrations: 36000, RegBytes: 256 << 10,
+			},
+			Geometry: geomOFPGamera, MaxNodes: 4096,
+		}, nil
+	case OnFugaku:
+		return App{
+			Workload: bsp.Workload{
+				Name: "GAMERA", Scaling: bsp.StrongScaling, RefNodes: 8192,
+				Steps: 3, StepCompute: 150 * time.Millisecond,
+				WorkingSetPerRank: 1 << 30, MemAccessPeriod: 120 * time.Nanosecond,
+				HeapChurnPerStep: 32 << 20, HeapCallsPerStep: 24,
+				AllreduceBytes: 8, HaloBytes: 1 << 20, HaloFaces: 12,
+				InitCompute:       50 * time.Millisecond,
+				InitRegistrations: 36000, RegBytes: 256 << 10,
+			},
+			Geometry: geomFugaku, MaxNodes: 8192,
+		}, nil
+	}
+	return App{}, ErrUnknownApp{"GAMERA", p}
+}
+
+// ByName looks up an application by its paper name.
+func ByName(name string, p PlatformName) (App, error) {
+	switch name {
+	case "AMG2013", "amg2013", "amg":
+		return AMG2013(p)
+	case "Milc", "milc":
+		return MILC(p)
+	case "Lulesh", "lulesh":
+		return LULESH(p)
+	case "LQCD", "lqcd":
+		return LQCD(p)
+	case "GeoFEM", "geofem":
+		return GeoFEM(p)
+	case "GAMERA", "gamera":
+		return GAMERA(p)
+	}
+	return App{}, ErrUnknownApp{name, p}
+}
+
+// CoralSuite returns the three CORAL applications (OFP only).
+func CoralSuite() []string { return []string{"AMG2013", "Milc", "Lulesh"} }
+
+// FugakuSuite returns the three Fugaku-project applications.
+func FugakuSuite() []string { return []string{"LQCD", "GeoFEM", "GAMERA"} }

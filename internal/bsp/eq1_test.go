@@ -1,0 +1,91 @@
+package bsp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mkos/internal/interconnect"
+	"mkos/internal/noise"
+)
+
+// TestEq1Agreement validates the Monte-Carlo noise engine against the
+// paper's analytic Eq. 1 across a parameter grid, in the regime Eq. 1
+// models (at most one interruption per rank per window, hit probability
+// near saturation). The two were derived independently — the analytic model
+// from the paper's formula, the engine from per-step maxima over sampled
+// timelines — so agreement is a real check, not a tautology.
+func TestEq1Agreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo sweep")
+	}
+	cases := []struct {
+		name    string
+		length  time.Duration
+		every   time.Duration // per-core interval
+		s       time.Duration
+		nodes   int
+		threads int // per node
+	}{
+		{"paper-regime", 300 * time.Microsecond, time.Second, 10 * time.Millisecond, 64, 48},
+		{"short-noise", 50 * time.Microsecond, 500 * time.Millisecond, 5 * time.Millisecond, 32, 48},
+		{"long-interval", 1 * time.Millisecond, 10 * time.Second, 20 * time.Millisecond, 128, 48},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cores := make([]int, c.threads)
+			for i := range cores {
+				cores[i] = i
+			}
+			profile := &noise.Profile{}
+			profile.MustAdd(&noise.Source{
+				Name: "synthetic", Cores: cores, Mode: noise.TargetRandom,
+				Every: c.every / time.Duration(c.threads), Length: c.length,
+			})
+			analytic := noise.AnalyticModel{Groups: []noise.Group{
+				{Name: "synthetic", Length: c.length, Every: c.every},
+			}}
+			pred, _, err := analytic.Slowdown(c.s, c.nodes*c.threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			w := Workload{
+				Name: "eq1", Scaling: WeakScaling, RefNodes: c.nodes,
+				Steps: 400, StepCompute: c.s,
+			}
+			m := Machine{
+				OS:     eq1OS{profile},
+				Fabric: interconnect.TofuD(),
+				Cores:  cores, RanksPerNode: 1, ThreadsPerRank: c.threads,
+			}
+			r, err := Run(w, m, c.nodes, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			measured := float64(r.Breakdown.Noise) / float64(r.Breakdown.Compute)
+			t.Logf("%s: analytic %.4f vs simulated %.4f", c.name, pred, measured)
+			// Within 40% relative (Monte-Carlo variance on a few hundred
+			// steps plus Eq. 1's single-hit approximation).
+			if pred <= 0 {
+				t.Fatal("degenerate prediction")
+			}
+			rel := math.Abs(measured-pred) / pred
+			if rel > 0.4 {
+				t.Errorf("analytic %.4f vs simulated %.4f disagree by %.0f%%", pred, measured, rel*100)
+			}
+		})
+	}
+}
+
+// eq1OS is a noise-only cost model.
+type eq1OS struct{ p *noise.Profile }
+
+func (o eq1OS) Name() string                                     { return "eq1" }
+func (o eq1OS) NoiseProfile() *noise.Profile                     { return o.p }
+func (o eq1OS) TranslationOverhead(int64, time.Duration) float64 { return 0 }
+func (o eq1OS) HeapChurnCost(int64, int, int) time.Duration      { return 0 }
+func (o eq1OS) RDMARegistrationCost(int64) time.Duration         { return 0 }
+func (o eq1OS) BarrierLatency(int) time.Duration                 { return 0 }
+func (o eq1OS) CacheInterferenceFactor() float64                 { return 1 }

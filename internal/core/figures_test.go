@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"mkos/internal/apps"
+	"mkos/internal/cluster"
+)
+
+// relAt runs one comparison point and returns the relative performance.
+func relAt(t *testing.T, platform apps.PlatformName, appName string, nodes int) Comparison {
+	t.Helper()
+	app, err := apps.ByName(appName, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(PlatformFor(platform), app, nodes, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s %s n=%d rel=%.3f", platform, appName, nodes, c.Relative)
+	return c
+}
+
+// checkRange asserts a relative-performance value lies in [lo, hi].
+func checkRange(t *testing.T, c Comparison, lo, hi float64) {
+	t.Helper()
+	if c.Relative < lo || c.Relative > hi {
+		t.Errorf("%s %s n=%d: relative %.3f outside [%.2f, %.2f]",
+			c.Platform, c.App, c.Nodes, c.Relative, lo, hi)
+	}
+}
+
+// TestFigure5Shape checks the CORAL results on OFP: McKernel always wins,
+// the advantage grows with scale, and the magnitudes land near the paper's
+// (AMG ≈18%, MILC ≈22%, LULESH ≈2X at 8,192 nodes).
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	amgSmall := relAt(t, apps.OnOFP, "AMG2013", 64)
+	amgBig := relAt(t, apps.OnOFP, "AMG2013", 8192)
+	checkRange(t, amgSmall, 1.0, 1.10)
+	checkRange(t, amgBig, 1.10, 1.30) // paper: ~1.18
+	if amgBig.Relative <= amgSmall.Relative {
+		t.Error("AMG2013 advantage must grow with scale")
+	}
+
+	milc := relAt(t, apps.OnOFP, "Milc", 8192)
+	checkRange(t, milc, 1.12, 1.35) // paper: ~1.22
+
+	lulesh := relAt(t, apps.OnOFP, "Lulesh", 8192)
+	checkRange(t, lulesh, 1.6, 2.2) // paper: "almost 2X"
+	if lulesh.Relative <= milc.Relative {
+		t.Error("LULESH must show the largest CORAL gain (heap churn)")
+	}
+}
+
+// TestFigure6Shape checks the Fugaku-project apps on OFP: LQCD ≈25% at 2k,
+// GeoFEM ≈6% at full scale, GAMERA >25% at half scale.
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	lqcd := relAt(t, apps.OnOFP, "LQCD", 2048)
+	checkRange(t, lqcd, 1.12, 1.35) // paper: "close to 25%"
+
+	geofem := relAt(t, apps.OnOFP, "GeoFEM", 8192)
+	checkRange(t, geofem, 1.02, 1.12) // paper: "up to 6%"
+
+	gamera := relAt(t, apps.OnOFP, "GAMERA", 4096)
+	checkRange(t, gamera, 1.15, 1.40) // paper: "over 25%"
+}
+
+// TestFigure7Shape checks the headline Fugaku results: against the highly
+// tuned Linux, LQCD is a wash, GeoFEM gains ~3%, and only GAMERA shows a
+// large (init-dominated) gain reaching ~29% at 8k nodes.
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	lqcd := relAt(t, apps.OnFugaku, "LQCD", 8192)
+	checkRange(t, lqcd, 0.99, 1.02) // paper: "almost identical"
+
+	geofemSmall := relAt(t, apps.OnFugaku, "GeoFEM", 512)
+	geofemBig := relAt(t, apps.OnFugaku, "GeoFEM", 8192)
+	checkRange(t, geofemSmall, 1.0, 1.08) // paper: ~3% roughly constant
+	checkRange(t, geofemBig, 1.0, 1.08)
+
+	gameraSmall := relAt(t, apps.OnFugaku, "GAMERA", 512)
+	gameraBig := relAt(t, apps.OnFugaku, "GAMERA", 8192)
+	checkRange(t, gameraBig, 1.18, 1.40) // paper: "up to 29%"
+	if gameraBig.Relative <= gameraSmall.Relative {
+		t.Error("GAMERA advantage must grow with scale (init fraction grows)")
+	}
+	// GAMERA's gain must come from init (RDMA registration), not steps.
+	initDiff := gameraBig.LinuxBreakdown.Init - gameraBig.McKBreakdown.Init
+	if initDiff <= 0 {
+		t.Error("GAMERA init must be faster on McKernel (PicoDriver)")
+	}
+}
+
+// TestFugakuAverageGain verifies the paper's headline: ~4% average McKernel
+// gain across Fugaku experiments (we average the three apps at two scales).
+func TestFugakuAverageGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	var sum float64
+	var n int
+	for _, app := range apps.FugakuSuite() {
+		for _, nodes := range []int{512, 8192} {
+			c := relAt(t, apps.OnFugaku, app, nodes)
+			sum += c.Relative
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	t.Logf("Fugaku average relative performance = %.3f", avg)
+	if avg < 1.0 || avg > 1.12 {
+		t.Errorf("Fugaku average gain %.3f outside the paper's 'proximity of 4%%' regime", avg)
+	}
+}
+
+// TestOFPAlwaysWins encodes "IHK/McKernel consistently outperforms the
+// moderately tuned Linux environment on Oakforest-PACS".
+func TestOFPAlwaysWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	for _, appName := range append(apps.CoralSuite(), apps.FugakuSuite()...) {
+		app, err := apps.ByName(appName, apps.OnOFP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := 256
+		if nodes > app.MaxNodes {
+			nodes = app.MaxNodes
+		}
+		// Mean of three runs, like the paper's "at least three times"
+		// methodology — single runs of low-gain apps can flip under
+		// placement variance (the paper's own error bars cross 1.0).
+		c, err := Compare(cluster.OFP(), app, nodes, []int64{7, 8, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Relative < 1.0 {
+			t.Errorf("%s on OFP: Linux beat McKernel (%.3f)", appName, c.Relative)
+		}
+	}
+}

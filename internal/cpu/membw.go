@@ -1,0 +1,69 @@
+package cpu
+
+import "errors"
+
+// MemorySystem models a node's shared memory bandwidth — the hardware
+// resource no OS partitioning scheme can slice (Sec. 4.2.2 lists "memory
+// bandwidth to the main memory and/or to the last level cache are shared by
+// multiple CPU cores" among the interference channels that remain even
+// under perfect software isolation).
+type MemorySystem struct {
+	Name string
+	// BytesPerSec is the node-level sustainable bandwidth.
+	BytesPerSec float64
+}
+
+// A64FXMemory returns Fugaku's HBM2 system (~1 TB/s per node).
+func A64FXMemory() MemorySystem {
+	return MemorySystem{Name: "HBM2", BytesPerSec: 1024e9}
+}
+
+// KNLMemory returns OFP's MCDRAM+DDR4 system in flat mode (~490 GB/s
+// aggregate: ~400 MCDRAM + ~90 DDR4).
+func KNLMemory() MemorySystem {
+	return MemorySystem{Name: "MCDRAM+DDR4", BytesPerSec: 490e9}
+}
+
+// ErrNoDemand reports an empty contention query.
+var ErrNoDemand = errors.New("cpu: no bandwidth demands")
+
+// Contend shares the memory system proportionally among concurrent demands
+// (bytes/sec each) and returns the per-demand slowdown factor (>= 1). Below
+// saturation nobody slows down; above it, everyone is scaled back
+// proportionally — the standard bandwidth-partitioning approximation.
+func (m MemorySystem) Contend(demands []float64) ([]float64, error) {
+	if len(demands) == 0 {
+		return nil, ErrNoDemand
+	}
+	var total float64
+	for _, d := range demands {
+		if d < 0 {
+			d = 0
+		}
+		total += d
+	}
+	out := make([]float64, len(demands))
+	if total <= m.BytesPerSec {
+		for i := range out {
+			out[i] = 1
+		}
+		return out, nil
+	}
+	// Each demand is granted its proportional share; runtime inflates by
+	// demand/grant = total/capacity uniformly.
+	factor := total / m.BytesPerSec
+	for i := range out {
+		out[i] = factor
+	}
+	return out, nil
+}
+
+// SlowdownWith returns the slowdown of a primary demand co-running with a
+// secondary demand.
+func (m MemorySystem) SlowdownWith(primary, secondary float64) float64 {
+	fs, err := m.Contend([]float64{primary, secondary})
+	if err != nil {
+		return 1
+	}
+	return fs[0]
+}

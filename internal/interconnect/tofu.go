@@ -1,0 +1,178 @@
+package interconnect
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TofuD's six-dimensional mesh/torus. A node address is (X, Y, Z, a, b, c):
+// the X/Y/Z axes span the machine room and are tori; the a/b/c axes address
+// the 2x3x2 = 12 nodes inside one pair of system boards, with a and c being
+// meshes (size 2) and b a torus (size 3). Full Fugaku is (24, 23, 24) x
+// (2, 3, 2) = 158,976 nodes, exactly the Table 1 count.
+
+// TofuCoord is one node address.
+type TofuCoord struct {
+	X, Y, Z int
+	A, B, C int
+}
+
+// TofuGeometry fixes the torus extents.
+type TofuGeometry struct {
+	X, Y, Z int
+}
+
+// Unit-cell extents.
+const (
+	tofuA = 2
+	tofuB = 3
+	tofuC = 2
+)
+
+// FugakuGeometry returns the full machine: 24 x 23 x 24 unit cells.
+func FugakuGeometry() TofuGeometry { return TofuGeometry{X: 24, Y: 23, Z: 24} }
+
+// Nodes returns the machine size.
+func (g TofuGeometry) Nodes() int { return g.X * g.Y * g.Z * tofuA * tofuB * tofuC }
+
+// Geometry errors.
+var (
+	ErrBadGeometry = errors.New("interconnect: invalid Tofu geometry")
+	ErrBadNodeID   = errors.New("interconnect: node id out of range")
+)
+
+// Validate checks the extents.
+func (g TofuGeometry) Validate() error {
+	if g.X < 1 || g.Y < 1 || g.Z < 1 {
+		return fmt.Errorf("%w: %dx%dx%d", ErrBadGeometry, g.X, g.Y, g.Z)
+	}
+	return nil
+}
+
+// CoordOf maps a linear node id to its address (a/b/c fastest, matching the
+// physical packaging: 12 nodes share a board pair).
+func (g TofuGeometry) CoordOf(id int) (TofuCoord, error) {
+	if err := g.Validate(); err != nil {
+		return TofuCoord{}, err
+	}
+	if id < 0 || id >= g.Nodes() {
+		return TofuCoord{}, fmt.Errorf("%w: %d of %d", ErrBadNodeID, id, g.Nodes())
+	}
+	c := TofuCoord{}
+	c.A = id % tofuA
+	id /= tofuA
+	c.B = id % tofuB
+	id /= tofuB
+	c.C = id % tofuC
+	id /= tofuC
+	c.X = id % g.X
+	id /= g.X
+	c.Y = id % g.Y
+	id /= g.Y
+	c.Z = id
+	return c, nil
+}
+
+// IDOf is the inverse of CoordOf.
+func (g TofuGeometry) IDOf(c TofuCoord) (int, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if c.X < 0 || c.X >= g.X || c.Y < 0 || c.Y >= g.Y || c.Z < 0 || c.Z >= g.Z ||
+		c.A < 0 || c.A >= tofuA || c.B < 0 || c.B >= tofuB || c.C < 0 || c.C >= tofuC {
+		return 0, fmt.Errorf("%w: %+v", ErrBadNodeID, c)
+	}
+	id := c.Z
+	id = id*g.Y + c.Y
+	id = id*g.X + c.X
+	id = id*tofuC + c.C
+	id = id*tofuB + c.B
+	id = id*tofuA + c.A
+	return id, nil
+}
+
+// torusDist is the shortest distance on a ring of size n.
+func torusDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := n - d; wrap < d {
+		return wrap
+	}
+	return d
+}
+
+// meshDist is the distance on a line.
+func meshDist(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Hops returns the dimension-ordered routing distance between two nodes:
+// torus distance on X/Y/Z and b, mesh distance on a and c.
+func (g TofuGeometry) Hops(p, q TofuCoord) int {
+	return torusDist(p.X, q.X, g.X) +
+		torusDist(p.Y, q.Y, g.Y) +
+		torusDist(p.Z, q.Z, g.Z) +
+		meshDist(p.A, q.A) +
+		torusDist(p.B, q.B, tofuB) +
+		meshDist(p.C, q.C)
+}
+
+// HopsByID routes between linear node ids.
+func (g TofuGeometry) HopsByID(a, b int) (int, error) {
+	pa, err := g.CoordOf(a)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := g.CoordOf(b)
+	if err != nil {
+		return 0, err
+	}
+	return g.Hops(pa, pb), nil
+}
+
+// Diameter returns the maximum shortest-path distance in the machine.
+func (g TofuGeometry) Diameter() int {
+	return g.X/2 + g.Y/2 + g.Z/2 + (tofuA - 1) + tofuB/2 + (tofuC - 1)
+}
+
+// MeanHops estimates the average distance between random nodes in a compact
+// job allocation of n nodes (contiguous linear ids, the scheduler's default
+// packing). It samples a deterministic stride of pairs — exact enumeration
+// is quadratic and unnecessary for a latency model.
+func (g TofuGeometry) MeanHops(n int) (float64, error) {
+	if n < 1 || n > g.Nodes() {
+		return 0, fmt.Errorf("%w: job of %d on %d nodes", ErrBadNodeID, n, g.Nodes())
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	const samples = 512
+	total, count := 0, 0
+	for i := 0; i < samples; i++ {
+		a := (i * 2654435761) % n // Fibonacci hashing for a uniform spread
+		b := ((i+1)*40503*65537 + 17) % n
+		if a == b {
+			continue
+		}
+		h, err := g.HopsByID(a, b)
+		if err != nil {
+			return 0, err
+		}
+		total += h
+		count++
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return float64(total) / float64(count), nil
+}
+
+// RackNodes is the node count of one Fugaku rack (8 shelves x 3 board
+// pairs... operationally 384 nodes/rack; 24 racks = 9,216, the paper's
+// McKernel evaluation slice).
+const RackNodes = 384

@@ -1,0 +1,194 @@
+package interconnect
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFugakuGeometryNodeCount(t *testing.T) {
+	g := FugakuGeometry()
+	if g.Nodes() != 158976 {
+		t.Fatalf("Fugaku nodes = %d, want 158,976 (Table 1)", g.Nodes())
+	}
+	if 24*RackNodes != 9216 {
+		t.Fatalf("24 racks = %d, want 9,216 (Sec. 6.3)", 24*RackNodes)
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	g := TofuGeometry{X: 4, Y: 3, Z: 2}
+	for id := 0; id < g.Nodes(); id++ {
+		c, err := g.CoordOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := g.IDOf(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != id {
+			t.Fatalf("roundtrip %d -> %+v -> %d", id, c, back)
+		}
+	}
+}
+
+func TestQuickCoordRoundTripFugaku(t *testing.T) {
+	g := FugakuGeometry()
+	f := func(raw uint32) bool {
+		id := int(raw) % g.Nodes()
+		c, err := g.CoordOf(id)
+		if err != nil {
+			return false
+		}
+		back, err := g.IDOf(c)
+		return err == nil && back == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordValidation(t *testing.T) {
+	g := TofuGeometry{X: 2, Y: 2, Z: 2}
+	if _, err := g.CoordOf(-1); !errors.Is(err, ErrBadNodeID) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := g.CoordOf(g.Nodes()); !errors.Is(err, ErrBadNodeID) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := g.IDOf(TofuCoord{X: 2}); !errors.Is(err, ErrBadNodeID) {
+		t.Fatalf("err = %v", err)
+	}
+	bad := TofuGeometry{}
+	if _, err := bad.CoordOf(0); !errors.Is(err, ErrBadGeometry) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := FugakuGeometry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsProperties(t *testing.T) {
+	g := TofuGeometry{X: 6, Y: 5, Z: 4}
+	a, _ := g.CoordOf(17)
+	b, _ := g.CoordOf(911)
+	c, _ := g.CoordOf(333)
+	// Identity, symmetry, triangle inequality.
+	if g.Hops(a, a) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	if g.Hops(a, b) != g.Hops(b, a) {
+		t.Fatal("distance not symmetric")
+	}
+	if g.Hops(a, c) > g.Hops(a, b)+g.Hops(b, c) {
+		t.Fatal("triangle inequality violated")
+	}
+}
+
+func TestQuickHopsMetric(t *testing.T) {
+	g := TofuGeometry{X: 8, Y: 7, Z: 6}
+	n := g.Nodes()
+	f := func(ra, rb, rc uint32) bool {
+		a, _ := g.CoordOf(int(ra) % n)
+		b, _ := g.CoordOf(int(rb) % n)
+		c, _ := g.CoordOf(int(rc) % n)
+		dAB, dBA := g.Hops(a, b), g.Hops(b, a)
+		if dAB != dBA {
+			return false
+		}
+		if g.Hops(a, a) != 0 {
+			return false
+		}
+		if g.Hops(a, c) > dAB+g.Hops(b, c) {
+			return false
+		}
+		return dAB <= g.Diameter()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusWraparound(t *testing.T) {
+	g := TofuGeometry{X: 10, Y: 3, Z: 3}
+	a := TofuCoord{X: 0}
+	b := TofuCoord{X: 9}
+	// Wraparound: 0 -> 9 is one hop on a ring of 10, not nine.
+	if got := g.Hops(a, b); got != 1 {
+		t.Fatalf("torus X distance = %d, want 1", got)
+	}
+	// The a axis (size 2) is a mesh: distance 1 either way.
+	if got := g.Hops(TofuCoord{A: 0}, TofuCoord{A: 1}); got != 1 {
+		t.Fatalf("mesh a distance = %d", got)
+	}
+	// The b axis (size 3) is a torus: 0 -> 2 is one hop.
+	if got := g.Hops(TofuCoord{B: 0}, TofuCoord{B: 2}); got != 1 {
+		t.Fatalf("torus b distance = %d, want 1", got)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := FugakuGeometry()
+	// 24/2 + 23/2 + 24/2 + 1 + 1 + 1 = 12+11+12+3 = 38.
+	diam := g.Diameter()
+	if diam != 38 {
+		t.Fatalf("Fugaku diameter = %d, want 38", diam)
+	}
+	// No pair can exceed it (spot check across the machine).
+	for _, pair := range [][2]int{{0, 158975}, {123, 90000}, {50000, 150000}} {
+		h, err := g.HopsByID(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h > diam {
+			t.Fatalf("pair %v distance %d exceeds diameter", pair, h)
+		}
+	}
+}
+
+func TestMeanHopsGrowsWithJobSize(t *testing.T) {
+	g := FugakuGeometry()
+	prev := -1.0
+	for _, n := range []int{12, 384, 9216, 158976} {
+		m, err := g.MeanHops(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m < 0 {
+			t.Fatalf("negative mean hops at %d", n)
+		}
+		if m <= prev && n > 12 {
+			t.Fatalf("mean hops not growing: %v at %d (prev %v)", m, n, prev)
+		}
+		prev = m
+	}
+	if _, err := g.MeanHops(0); err == nil {
+		t.Fatal("zero-node job must fail")
+	}
+	if _, err := g.MeanHops(1 << 30); err == nil {
+		t.Fatal("oversized job must fail")
+	}
+	if m, _ := g.MeanHops(1); m != 0 {
+		t.Fatal("single-node job has no hops")
+	}
+}
+
+// TestMeanHopsConsistentWithApproximation cross-checks the coordinate-exact
+// model against the Fabric's closed-form n^(1/6) approximation used by the
+// latency model: same order of magnitude across the sweep.
+func TestMeanHopsConsistentWithApproximation(t *testing.T) {
+	g := FugakuGeometry()
+	f := TofuD()
+	for _, n := range []int{384, 9216, 158976} {
+		exact, err := g.MeanHops(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := float64(f.Hops(n))
+		ratio := approx / exact
+		if ratio < 0.3 || ratio > 3.5 {
+			t.Fatalf("n=%d: approximation %v vs exact %v (ratio %.2f)", n, approx, exact, ratio)
+		}
+	}
+}

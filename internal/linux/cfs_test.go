@@ -1,0 +1,113 @@
+package linux
+
+import (
+	"testing"
+	"time"
+
+	"mkos/internal/kernel"
+	"mkos/internal/noise"
+	"mkos/internal/sim"
+)
+
+func TestCFSPinAndWake(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewCFS(e, []int{0, 1})
+	if err := c.PinApp(0, "app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PinApp(0, "app2"); err == nil {
+		t.Fatal("double pin must fail")
+	}
+	if err := c.PinApp(9, "app"); err == nil {
+		t.Fatal("unknown core must fail")
+	}
+	if err := c.Wake(9, "d", kernel.DaemonTask, time.Millisecond); err == nil {
+		t.Fatal("wake on unknown core must fail")
+	}
+	if err := c.Wake(0, "d", kernel.DaemonTask, 0); err == nil {
+		t.Fatal("zero service must fail")
+	}
+}
+
+func TestCFSDaemonStealsExactly(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewCFS(e, []int{0})
+	if err := c.PinApp(0, "app"); err != nil {
+		t.Fatal(err)
+	}
+	// A daemon waking for 500us steals exactly 500us from the app.
+	if err := c.Wake(0, "sshd", kernel.DaemonTask, 500*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if got := c.StolenOn(0); got != 500*time.Microsecond {
+		t.Fatalf("stolen = %v, want 500us", got)
+	}
+	// The other core is untouched.
+	if c.StolenOn(1) != 0 {
+		t.Fatal("phantom steal on unmanaged core")
+	}
+}
+
+func TestCFSLongServiceSliced(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewCFS(e, []int{0})
+	_ = c.PinApp(0, "app")
+	// A 10ms daemon burst is sliced at 3ms granularity but the total steal
+	// still adds up to 10ms.
+	if err := c.Wake(0, "journald", kernel.DaemonTask, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if got := c.StolenOn(0); got != 10*time.Millisecond {
+		t.Fatalf("stolen = %v, want 10ms", got)
+	}
+	// The app got the core back between slices: its accounted run time is
+	// positive even though the daemon demanded a long burst.
+	if e.Now() < sim.Time(10*time.Millisecond) {
+		t.Fatal("clock did not advance through the slices")
+	}
+}
+
+func TestCFSMultipleWakersAccumulate(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewCFS(e, []int{0})
+	_ = c.PinApp(0, "app")
+	for i := 0; i < 5; i++ {
+		if err := c.Wake(0, "kworker", kernel.KworkerTask, 200*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	if got := c.StolenOn(0); got != time.Millisecond {
+		t.Fatalf("stolen = %v, want 1ms", got)
+	}
+}
+
+// TestCFSMatchesNoiseModel is the cross-validation: replay a generated
+// noise timeline's daemon events through the event-driven scheduler and
+// check the derived steal equals the statistical model's stolen time.
+func TestCFSMatchesNoiseModel(t *testing.T) {
+	p := &noise.Profile{}
+	p.MustAdd(&noise.Source{
+		Name: "daemons", Cores: []int{0}, Mode: noise.TargetOne,
+		Every: 20 * time.Millisecond, EveryCV: 0.5,
+		Length: 300 * time.Microsecond, LengthCV: 0.8,
+	})
+	horizon := 2 * time.Second
+	tl := p.Timeline(horizon, sim.NewRand(17))
+
+	e := sim.NewEngine()
+	c := NewCFS(e, []int{0})
+	_ = c.PinApp(0, "app")
+	for _, iv := range tl.ForCPU(0) {
+		iv := iv
+		e.ScheduleAt(iv.Start, "wake", func(*sim.Engine) {
+			_ = c.Wake(0, iv.Source, kernel.DaemonTask, iv.Len)
+		})
+	}
+	e.Run()
+	if got, want := c.StolenOn(0), tl.TotalStolen(0); got != want {
+		t.Fatalf("scheduler-derived steal %v != statistical model %v", got, want)
+	}
+}

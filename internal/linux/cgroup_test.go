@@ -1,0 +1,151 @@
+package linux
+
+import (
+	"errors"
+	"testing"
+
+	"mkos/internal/kernel"
+)
+
+func TestCgroupHierarchy(t *testing.T) {
+	root := NewRootCgroup(kernel.FullMask(8), []int{0, 1})
+	sys, err := root.NewChild("system", kernel.NewCPUMask(6, 7), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name != "/system" {
+		t.Fatalf("name = %s", sys.Name)
+	}
+	if _, err := root.NewChild("system", kernel.NewCPUMask(0), []int{0}); !errors.Is(err, ErrCgroupExists) {
+		t.Fatalf("duplicate child err = %v", err)
+	}
+	if got, err := root.Child("system"); err != nil || got != sys {
+		t.Fatalf("Child lookup: %v %v", got, err)
+	}
+	if _, err := root.Child("nope"); !errors.Is(err, ErrCgroupNotFound) {
+		t.Fatalf("missing child err = %v", err)
+	}
+}
+
+func TestCgroupSubsetEnforcement(t *testing.T) {
+	root := NewRootCgroup(kernel.NewCPUMask(0, 1, 2, 3), []int{0})
+	if _, err := root.NewChild("bad-cpus", kernel.NewCPUMask(4), []int{0}); err == nil {
+		t.Fatal("cpuset outside parent must be rejected")
+	}
+	if _, err := root.NewChild("bad-mems", kernel.NewCPUMask(0), []int{5}); err == nil {
+		t.Fatal("mems outside parent must be rejected")
+	}
+}
+
+func TestCgroupAttachClampsAffinity(t *testing.T) {
+	root := NewRootCgroup(kernel.FullMask(8), []int{0})
+	app, _ := root.NewChild("app", kernel.NewCPUMask(0, 1, 2, 3), []int{0})
+	task := kernel.NewTask(1, "a.out", kernel.AppTask, kernel.FullMask(8))
+	if err := app.Attach(task); err != nil {
+		t.Fatal(err)
+	}
+	if !task.Affinity.Equal(kernel.NewCPUMask(0, 1, 2, 3)) {
+		t.Fatalf("affinity not clamped: %s", task.Affinity)
+	}
+	if app.Tasks() != 1 {
+		t.Fatalf("Tasks = %d", app.Tasks())
+	}
+	// A task whose affinity is disjoint from the cpuset adopts the cpuset.
+	task2 := kernel.NewTask(2, "b.out", kernel.AppTask, kernel.NewCPUMask(7))
+	if err := app.Attach(task2); err != nil {
+		t.Fatal(err)
+	}
+	if !task2.Affinity.Equal(kernel.NewCPUMask(0, 1, 2, 3)) {
+		t.Fatalf("disjoint affinity not replaced: %s", task2.Affinity)
+	}
+}
+
+func TestCgroupMemoryCharging(t *testing.T) {
+	root := NewRootCgroup(kernel.FullMask(4), []int{0})
+	app, _ := root.NewChild("app", kernel.NewCPUMask(0, 1), []int{0})
+	app.LimitBytes = 1000
+	if err := app.Charge(800); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Charge(300); !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("over-limit charge err = %v", err)
+	}
+	if app.Usage() != 800 || root.Usage() != 800 {
+		t.Fatalf("usage = %d/%d (hierarchical accounting broken)", app.Usage(), root.Usage())
+	}
+	app.Uncharge(500)
+	if app.Usage() != 300 || root.Usage() != 300 {
+		t.Fatalf("usage after uncharge = %d/%d", app.Usage(), root.Usage())
+	}
+	app.Uncharge(10000) // must clamp at zero
+	if app.Usage() != 0 {
+		t.Fatalf("usage clamped = %d", app.Usage())
+	}
+}
+
+func TestCgroupParentLimitApplies(t *testing.T) {
+	root := NewRootCgroup(kernel.FullMask(4), []int{0})
+	root.LimitBytes = 500
+	app, _ := root.NewChild("app", kernel.NewCPUMask(0), []int{0})
+	if err := app.Charge(600); !errors.Is(err, ErrMemLimit) {
+		t.Fatal("parent limit must apply to child charges")
+	}
+}
+
+func TestCgroupSurplusHook(t *testing.T) {
+	root := NewRootCgroup(kernel.FullMask(4), []int{0})
+	app, _ := root.NewChild("app", kernel.NewCPUMask(0), []int{0})
+	app.LimitBytes = 4 << 20
+
+	// Stock behaviour: surplus pages bypass the controller (Sec. 4.1.3).
+	if err := app.ChargeSurplus(100, 2<<20); err != nil {
+		t.Fatal("stock kernel must not veto surplus pages")
+	}
+	if app.Usage() != 0 {
+		t.Fatal("stock kernel must not account surplus pages")
+	}
+
+	// Fugaku kernel-module hook: charged and limited.
+	app.ChargeSurplusPages = true
+	if err := app.ChargeSurplus(2, 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	if app.Usage() != 4<<20 {
+		t.Fatalf("usage = %d", app.Usage())
+	}
+	if err := app.ChargeSurplus(1, 2<<20); !errors.Is(err, ErrMemLimit) {
+		t.Fatal("hook must enforce the cgroup limit on surplus pages")
+	}
+	app.UncchargeSurplus(2, 2<<20)
+	if app.Usage() != 0 {
+		t.Fatalf("usage after uncharge = %d", app.Usage())
+	}
+}
+
+func TestContainerRuntime(t *testing.T) {
+	root := NewRootCgroup(kernel.FullMask(8), []int{0, 1})
+	rt := NewContainerRuntime(root, kernel.NewCPUMask(0, 1, 2, 3), []int{0})
+	c1, err := rt.Create("centos:8", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.HostMode {
+		t.Fatal("image container must not be host mode")
+	}
+	if c1.Group.LimitBytes != 1<<30 {
+		t.Fatal("memory limit not applied")
+	}
+	if !c1.Group.CPUs.Equal(kernel.NewCPUMask(0, 1, 2, 3)) {
+		t.Fatal("container cpuset wrong")
+	}
+	c2, err := rt.Create("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.HostMode {
+		t.Fatal("empty image must select host mode")
+	}
+	if c1.ID == c2.ID {
+		t.Fatal("container IDs must be unique")
+	}
+}

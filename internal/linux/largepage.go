@@ -1,0 +1,176 @@
+package linux
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"mkos/internal/mem"
+)
+
+// AllocScheme selects when large pages are populated (Sec. 4.1.3: "the
+// allocation scheme (i.e., pre-allocation based or demand paging) can be
+// controlled by specific environment variables").
+type AllocScheme int
+
+const (
+	// Prealloc populates and faults every page at process start.
+	Prealloc AllocScheme = iota
+	// DemandPaging populates pages on first touch.
+	DemandPaging
+)
+
+func (s AllocScheme) String() string {
+	if s == DemandPaging {
+		return "demand"
+	}
+	return "prealloc"
+}
+
+// SegmentPolicy configures one process memory area.
+type SegmentPolicy struct {
+	LargePages bool
+	Scheme     AllocScheme
+}
+
+// LPRuntimeConfig is the Fugaku runtime's large-page configuration covering
+// every process memory area the paper lists: static data (.data and .bss),
+// the stack, and the heap (mmap-managed dynamic memory).
+type LPRuntimeConfig struct {
+	Data  SegmentPolicy
+	BSS   SegmentPolicy
+	Stack SegmentPolicy
+	Heap  SegmentPolicy
+}
+
+// DefaultLPRuntime returns Fugaku's default: everything large-page backed,
+// pre-allocated (HPC codes prefer paying faults at startup).
+func DefaultLPRuntime() LPRuntimeConfig {
+	all := SegmentPolicy{LargePages: true, Scheme: Prealloc}
+	return LPRuntimeConfig{Data: all, BSS: all, Stack: all, Heap: all}
+}
+
+// ParseLPRuntimeEnv overrides the default from environment-style settings,
+// mirroring the runtime's XOS_MMM_L_* variables:
+//
+//	XOS_MMM_L_PAGING=0|1        0 = prealloc, 1 = demand paging
+//	XOS_MMM_L_HPAGE_TYPE=none   disable large pages entirely
+//	XOS_MMM_L_ARENA_LOCK_TYPE   accepted and ignored (allocator detail)
+func ParseLPRuntimeEnv(env map[string]string) (LPRuntimeConfig, error) {
+	cfg := DefaultLPRuntime()
+	if v, ok := env["XOS_MMM_L_PAGING"]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || (n != 0 && n != 1) {
+			return cfg, fmt.Errorf("linux: XOS_MMM_L_PAGING=%q (want 0 or 1)", v)
+		}
+		scheme := Prealloc
+		if n == 1 {
+			scheme = DemandPaging
+		}
+		for _, seg := range []*SegmentPolicy{&cfg.Data, &cfg.BSS, &cfg.Stack, &cfg.Heap} {
+			seg.Scheme = scheme
+		}
+	}
+	if v, ok := env["XOS_MMM_L_HPAGE_TYPE"]; ok {
+		switch v {
+		case "none":
+			for _, seg := range []*SegmentPolicy{&cfg.Data, &cfg.BSS, &cfg.Stack, &cfg.Heap} {
+				seg.LargePages = false
+			}
+		case "hugetlbfs":
+			// default
+		default:
+			return cfg, fmt.Errorf("linux: XOS_MMM_L_HPAGE_TYPE=%q (want hugetlbfs or none)", v)
+		}
+	}
+	return cfg, nil
+}
+
+// ProcessImage gives the segment sizes of a binary being launched.
+type ProcessImage struct {
+	Name  string
+	Data  int64
+	BSS   int64
+	Stack int64
+	Heap  int64
+}
+
+// LaunchedProcess is the result of setting up a process under the runtime:
+// its address space, the huge pages consumed, and the setup cost.
+type LaunchedProcess struct {
+	Image     ProcessImage
+	AS        *mem.AddressSpace
+	HugePages int64
+	// SetupCost is the time spent faulting pre-allocated pages at launch.
+	SetupCost time.Duration
+	// DeferredFaults counts pages left for first-touch (demand paging).
+	DeferredFaults int64
+}
+
+// LaunchProcess builds a process's memory layout under the runtime config:
+// large-page segments come from hugeTLBfs (overcommit surplus on Fugaku,
+// charged to the application cgroup via the kernel-module hook), the rest
+// from base pages. Pre-allocated segments pay their fault cost now.
+func (k *Kernel) LaunchProcess(img ProcessImage, cfg LPRuntimeConfig) (*LaunchedProcess, error) {
+	if img.Name == "" {
+		return nil, fmt.Errorf("linux: process image without name")
+	}
+	as := mem.NewAddressSpace()
+	lp := &LaunchedProcess{Image: img, AS: as}
+	basePage := mem.PageSize(k.Mem.AppNodes()[0].Buddy.BasePage())
+
+	segs := []struct {
+		label  string
+		size   int64
+		policy SegmentPolicy
+	}{
+		{"data", img.Data, cfg.Data},
+		{"bss", img.BSS, cfg.BSS},
+		{"stack", img.Stack, cfg.Stack},
+		{"heap", img.Heap, cfg.Heap},
+	}
+	for _, seg := range segs {
+		if seg.size <= 0 {
+			continue
+		}
+		page, contig := basePage, false
+		if seg.policy.LargePages && k.Huge != nil {
+			// 2 MiB via the contiguous bit on 64 KiB base pages.
+			page, contig = mem.Page64K, true
+			if basePage == mem.Page4K {
+				page, contig = mem.Page2M, false
+			}
+		}
+		vma, err := as.Map(seg.size, page, contig, seg.label)
+		if err != nil {
+			return nil, err
+		}
+		effPage := mem.PageSize(vma.EffectivePage())
+		pages := mem.Page2M.PagesFor(seg.size)
+		if seg.policy.LargePages && k.Huge != nil {
+			if err := k.Huge.Alloc(pages); err != nil {
+				return nil, fmt.Errorf("linux: huge pages for %s/%s: %w", img.Name, seg.label, err)
+			}
+			lp.HugePages += pages
+		}
+		faults := effPage.PagesFor(seg.size)
+		if seg.policy.Scheme == Prealloc {
+			lp.SetupCost += time.Duration(faults) * k.PageFaultCost(effPage)
+			vma.Populated = true
+		} else {
+			lp.DeferredFaults += faults
+		}
+	}
+	return lp, nil
+}
+
+// ReleaseProcess tears a launched process down, returning its huge pages.
+func (k *Kernel) ReleaseProcess(lp *LaunchedProcess) error {
+	if lp.HugePages > 0 && k.Huge != nil {
+		if err := k.Huge.Release(lp.HugePages); err != nil {
+			return err
+		}
+		lp.HugePages = 0
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package linux
+
+import (
+	"testing"
+
+	"mkos/internal/mem"
+)
+
+func testImage() ProcessImage {
+	return ProcessImage{
+		Name: "a.out",
+		Data: 16 << 20, BSS: 64 << 20, Stack: 8 << 20, Heap: 256 << 20,
+	}
+}
+
+func TestParseLPRuntimeEnv(t *testing.T) {
+	cfg, err := ParseLPRuntimeEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Heap.LargePages || cfg.Heap.Scheme != Prealloc {
+		t.Fatal("default must be large pages + prealloc")
+	}
+
+	cfg, err = ParseLPRuntimeEnv(map[string]string{"XOS_MMM_L_PAGING": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []SegmentPolicy{cfg.Data, cfg.BSS, cfg.Stack, cfg.Heap} {
+		if s.Scheme != DemandPaging {
+			t.Fatal("PAGING=1 must select demand paging everywhere")
+		}
+	}
+
+	cfg, err = ParseLPRuntimeEnv(map[string]string{"XOS_MMM_L_HPAGE_TYPE": "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Heap.LargePages {
+		t.Fatal("HPAGE_TYPE=none must disable large pages")
+	}
+
+	if _, err := ParseLPRuntimeEnv(map[string]string{"XOS_MMM_L_PAGING": "2"}); err == nil {
+		t.Fatal("invalid PAGING value must fail")
+	}
+	if _, err := ParseLPRuntimeEnv(map[string]string{"XOS_MMM_L_HPAGE_TYPE": "thp"}); err == nil {
+		t.Fatal("invalid HPAGE_TYPE must fail")
+	}
+	if _, err := ParseLPRuntimeEnv(map[string]string{"XOS_MMM_L_PAGING": "0", "XOS_MMM_L_HPAGE_TYPE": "hugetlbfs"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Prealloc.String() != "prealloc" || DemandPaging.String() != "demand" {
+		t.Fatal("scheme strings wrong")
+	}
+}
+
+func TestLaunchProcessAllSegmentsLargePaged(t *testing.T) {
+	k := newFugakuKernel(t)
+	lp, err := k.LaunchProcess(testImage(), DefaultLPRuntime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmas := lp.AS.VMAs()
+	if len(vmas) != 4 {
+		t.Fatalf("VMAs = %d, want data/bss/stack/heap", len(vmas))
+	}
+	for _, v := range vmas {
+		// On A64FX: 64K base pages with the contiguous bit = 2M effective.
+		if v.EffectivePage() != 2<<20 {
+			t.Fatalf("segment %s effective page = %d, want 2M", v.Label, v.EffectivePage())
+		}
+		if !v.Populated {
+			t.Fatalf("preallocated segment %s not populated", v.Label)
+		}
+	}
+	// 344 MiB total -> 172 huge pages consumed from the overcommit pool.
+	if lp.HugePages != 172 {
+		t.Fatalf("huge pages = %d, want 172", lp.HugePages)
+	}
+	_, _, surplus := k.Huge.PoolPages()
+	if surplus != 172 {
+		t.Fatalf("surplus = %d", surplus)
+	}
+	if lp.SetupCost <= 0 || lp.DeferredFaults != 0 {
+		t.Fatalf("prealloc setup cost %v, deferred %d", lp.SetupCost, lp.DeferredFaults)
+	}
+	// The cgroup hook charged them.
+	if k.App.Usage() != 172*(2<<20) {
+		t.Fatalf("cgroup usage = %d", k.App.Usage())
+	}
+	// Teardown returns everything.
+	if err := k.ReleaseProcess(lp); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, surplus := k.Huge.PoolPages(); surplus != 0 {
+		t.Fatalf("surplus after release = %d", surplus)
+	}
+	if k.App.Usage() != 0 {
+		t.Fatalf("cgroup usage after release = %d", k.App.Usage())
+	}
+}
+
+func TestLaunchProcessDemandPaging(t *testing.T) {
+	k := newFugakuKernel(t)
+	cfg, err := ParseLPRuntimeEnv(map[string]string{"XOS_MMM_L_PAGING": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := k.LaunchProcess(testImage(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.SetupCost != 0 {
+		t.Fatalf("demand paging must defer all faults, setup = %v", lp.SetupCost)
+	}
+	if lp.DeferredFaults != 172 {
+		t.Fatalf("deferred faults = %d, want 172 (2M pages)", lp.DeferredFaults)
+	}
+}
+
+func TestLaunchProcessBasePagesOnly(t *testing.T) {
+	k := newFugakuKernel(t)
+	cfg, err := ParseLPRuntimeEnv(map[string]string{"XOS_MMM_L_HPAGE_TYPE": "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := k.LaunchProcess(testImage(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.HugePages != 0 {
+		t.Fatal("no large pages requested but huge pages consumed")
+	}
+	for _, v := range lp.AS.VMAs() {
+		if v.EffectivePage() != 64<<10 {
+			t.Fatalf("segment %s effective page = %d, want 64K base", v.Label, v.EffectivePage())
+		}
+	}
+	// Base-page prealloc costs more faults than large-page prealloc.
+	lpHuge, err := k.LaunchProcess(testImage(), DefaultLPRuntime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.SetupCost <= lpHuge.SetupCost {
+		t.Fatalf("base-page setup %v must exceed large-page setup %v", lp.SetupCost, lpHuge.SetupCost)
+	}
+}
+
+func TestLaunchProcessOnOFPUsesTHPStyle2M(t *testing.T) {
+	k := newOFPKernel(t)
+	// OFP has no hugeTLBfs (k.Huge == nil): segments fall back to base
+	// pages in this runtime (THP is transparent, not runtime-managed).
+	lp, err := k.LaunchProcess(testImage(), DefaultLPRuntime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.HugePages != 0 {
+		t.Fatal("OFP must not consume hugeTLBfs pages")
+	}
+	for _, v := range lp.AS.VMAs() {
+		if v.EffectivePage() != 4<<10 {
+			t.Fatalf("OFP segment %s page = %d, want 4K base", v.Label, v.EffectivePage())
+		}
+	}
+}
+
+func TestLaunchProcessValidation(t *testing.T) {
+	k := newFugakuKernel(t)
+	if _, err := k.LaunchProcess(ProcessImage{}, DefaultLPRuntime()); err == nil {
+		t.Fatal("nameless image must fail")
+	}
+	// Zero-size segments are skipped.
+	lp, err := k.LaunchProcess(ProcessImage{Name: "tiny", Heap: 2 << 20}, DefaultLPRuntime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp.AS.VMAs()) != 1 {
+		t.Fatalf("VMAs = %d, want 1", len(lp.AS.VMAs()))
+	}
+	_ = mem.Page2M // keep import if assertions above change
+}

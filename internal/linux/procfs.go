@@ -1,0 +1,196 @@
+package linux
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mkos/internal/kernel"
+)
+
+// The procfs/sysfs configuration surface. The paper's countermeasures are
+// applied through exactly these files — "Device IRQs are routed to assistant
+// cores by configuring the relevant procfs files (e.g.,
+// /proc/irq/IRQ_NUMBER/smp_affinity). Additionally, kworker tasks are also
+// bound to assistant cores by changing the CPU affinity value through their
+// sysfs interface" (Sec. 4.2) — so the model exposes the same files and
+// routes writes to the same kernel objects.
+
+// ProcFS is the virtual /proc + /sys view over one kernel instance.
+type ProcFS struct {
+	k *Kernel
+}
+
+// Proc returns the kernel's configuration filesystem.
+func (k *Kernel) Proc() *ProcFS { return &ProcFS{k: k} }
+
+// ProcFS errors.
+var (
+	ErrNoSuchFile = errors.New("linux: no such proc/sys file")
+	ErrBadValue   = errors.New("linux: invalid value for proc/sys file")
+)
+
+// Read returns a file's current contents.
+func (p *ProcFS) Read(path string) (string, error) {
+	switch {
+	case strings.HasPrefix(path, "/proc/irq/") && strings.HasSuffix(path, "/smp_affinity"):
+		irq, err := p.irqOf(path)
+		if err != nil {
+			return "", err
+		}
+		return maskToHex(irq.Affinity), nil
+	case path == "/sys/devices/virtual/workqueue/cpumask":
+		if len(p.k.Kworkers) == 0 {
+			return "", fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+		}
+		return maskToHex(p.k.Kworkers[0].Affinity), nil
+	case path == "/proc/sys/vm/nr_overcommit_hugepages":
+		if p.k.Huge == nil {
+			return "0", nil
+		}
+		// Unlimited overcommit is what Fugaku configures (Sec. 4.1.3);
+		// the kernel reports the configured ceiling.
+		return "18446744073709551615", nil
+	case path == "/sys/kernel/mm/transparent_hugepage/enabled":
+		if p.k.Tune.LargePage == THP {
+			return "[always] madvise never", nil
+		}
+		return "always madvise [never]", nil
+	case path == "/proc/cmdline":
+		return p.cmdline(), nil
+	case path == "/proc/sys/kernel/sched_min_granularity_ns":
+		return strconv.FormatInt(int64(cfsSlice), 10), nil
+	}
+	return "", fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+}
+
+// Write updates a file, mutating the underlying kernel object exactly as
+// the real interfaces do.
+func (p *ProcFS) Write(path, value string) error {
+	value = strings.TrimSpace(value)
+	switch {
+	case strings.HasPrefix(path, "/proc/irq/") && strings.HasSuffix(path, "/smp_affinity"):
+		irq, err := p.irqOf(path)
+		if err != nil {
+			return err
+		}
+		mask, err := hexToMask(value)
+		if err != nil {
+			return err
+		}
+		return irq.Route(mask)
+	case path == "/sys/devices/virtual/workqueue/cpumask":
+		mask, err := hexToMask(value)
+		if err != nil {
+			return err
+		}
+		for _, kw := range p.k.Kworkers {
+			if err := kw.SetAffinity(mask); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+}
+
+// irqOf resolves /proc/irq/N/smp_affinity to the IRQ descriptor.
+func (p *ProcFS) irqOf(path string) (*kernel.IRQ, error) {
+	parts := strings.Split(path, "/")
+	if len(parts) != 5 {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+	}
+	n, err := strconv.Atoi(parts[3])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+	}
+	for _, irq := range p.k.IRQs {
+		if irq.Number == n {
+			return irq, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: IRQ %d", ErrNoSuchFile, n)
+}
+
+// cmdline renders the boot command line implied by the tuning — the
+// nohz_full argument both platforms use (Table 1).
+func (p *ProcFS) cmdline() string {
+	args := []string{"BOOT_IMAGE=/vmlinuz root=/dev/sda2 ro"}
+	if p.k.Tune.NohzFull {
+		app := kernel.NewCPUMask(p.k.Topo.AppCores()...)
+		args = append(args, "nohz_full="+app.String(), "rcu_nocbs="+app.String())
+	}
+	if p.k.Tune.LargePage == THP {
+		args = append(args, "transparent_hugepage=always")
+	}
+	return strings.Join(args, " ")
+}
+
+// maskToHex renders a CPU mask in the kernel's comma-separated 32-bit hex
+// group format (most significant group first), e.g. "3" or "ffff,ffffffff".
+func maskToHex(m kernel.CPUMask) string {
+	cores := m.Cores()
+	if len(cores) == 0 {
+		return "0"
+	}
+	maxCore := cores[len(cores)-1]
+	groups := maxCore/32 + 1
+	words := make([]uint32, groups)
+	for _, c := range cores {
+		words[c/32] |= 1 << (c % 32)
+	}
+	var parts []string
+	for i := groups - 1; i >= 0; i-- {
+		if i == groups-1 {
+			parts = append(parts, strconv.FormatUint(uint64(words[i]), 16))
+		} else {
+			parts = append(parts, fmt.Sprintf("%08x", words[i]))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// hexToMask parses the kernel hex group format back into a mask.
+func hexToMask(s string) (kernel.CPUMask, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	if s == "" {
+		return kernel.CPUMask{}, fmt.Errorf("%w: empty mask", ErrBadValue)
+	}
+	groups := strings.Split(s, ",")
+	var mask kernel.CPUMask
+	// Groups arrive most-significant first.
+	for gi, g := range groups {
+		if g == "" {
+			return kernel.CPUMask{}, fmt.Errorf("%w: %q", ErrBadValue, s)
+		}
+		v, err := strconv.ParseUint(g, 16, 32)
+		if err != nil {
+			return kernel.CPUMask{}, fmt.Errorf("%w: %q", ErrBadValue, g)
+		}
+		base := (len(groups) - 1 - gi) * 32
+		for b := 0; b < 32; b++ {
+			if v&(1<<b) != 0 {
+				mask.Set(base + b)
+			}
+		}
+	}
+	return mask, nil
+}
+
+// Files lists the configuration surface, for discoverability.
+func (p *ProcFS) Files() []string {
+	out := []string{
+		"/proc/cmdline",
+		"/proc/sys/kernel/sched_min_granularity_ns",
+		"/proc/sys/vm/nr_overcommit_hugepages",
+		"/sys/devices/virtual/workqueue/cpumask",
+		"/sys/kernel/mm/transparent_hugepage/enabled",
+	}
+	for _, irq := range p.k.IRQs {
+		out = append(out, fmt.Sprintf("/proc/irq/%d/smp_affinity", irq.Number))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,173 @@
+package linux
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mkos/internal/kernel"
+)
+
+func TestMaskHexRoundTrip(t *testing.T) {
+	cases := map[string]kernel.CPUMask{
+		"3":                   kernel.NewCPUMask(0, 1),
+		"f":                   kernel.NewCPUMask(0, 1, 2, 3),
+		"1,00000000":          kernel.NewCPUMask(32),
+		"3,00000000":          kernel.NewCPUMask(32, 33),
+		"1,00000000,00000000": kernel.NewCPUMask(64),
+	}
+	for want, mask := range cases {
+		if got := maskToHex(mask); got != want {
+			t.Fatalf("maskToHex(%s) = %q, want %q", mask, got, want)
+		}
+		back, err := hexToMask(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(mask) {
+			t.Fatalf("hexToMask(%q) = %s, want %s", want, back, mask)
+		}
+	}
+	if maskToHex(kernel.CPUMask{}) != "0" {
+		t.Fatal("empty mask must render as 0")
+	}
+	if _, err := hexToMask("zz"); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("bad hex err = %v", err)
+	}
+	if _, err := hexToMask(""); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := hexToMask("1,,2"); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("empty group err = %v", err)
+	}
+}
+
+func TestQuickMaskHexRoundTrip(t *testing.T) {
+	f := func(cores []uint8) bool {
+		var m kernel.CPUMask
+		for _, c := range cores {
+			m.Set(int(c))
+		}
+		back, err := hexToMask(maskToHex(m))
+		return err == nil && back.Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcIRQAffinity(t *testing.T) {
+	k := newFugakuKernel(t)
+	fs := k.Proc()
+	// IRQs start on assistant cores (48, 49): mask 0x3 << 48.
+	path := "/proc/irq/16/smp_affinity"
+	got, err := fs.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMask := kernel.NewCPUMask(k.Topo.AssistantCores()...)
+	if got != maskToHex(wantMask) {
+		t.Fatalf("initial smp_affinity = %s, want %s", got, maskToHex(wantMask))
+	}
+	// Rebalance IRQ 16 across cores 0-3 by writing the file.
+	if err := fs.Write(path, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if !k.IRQs[0].Affinity.Equal(kernel.NewCPUMask(0, 1, 2, 3)) {
+		t.Fatalf("write did not reach the IRQ object: %s", k.IRQs[0].Affinity)
+	}
+	// Unknown IRQ and malformed paths.
+	if _, err := fs.Read("/proc/irq/999/smp_affinity"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("unknown IRQ err = %v", err)
+	}
+	if _, err := fs.Read("/proc/irq/x/smp_affinity"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("bad IRQ path err = %v", err)
+	}
+	if err := fs.Write(path, "zz"); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("bad mask write err = %v", err)
+	}
+}
+
+func TestSysWorkqueueCpumask(t *testing.T) {
+	k := newFugakuKernel(t)
+	fs := k.Proc()
+	const path = "/sys/devices/virtual/workqueue/cpumask"
+	if _, err := fs.Read(path); err != nil {
+		t.Fatal(err)
+	}
+	// Rebind all kworkers to core 0 — the Sec. 4.2 sysfs knob.
+	if err := fs.Write(path, "1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, kw := range k.Kworkers {
+		if !kw.Affinity.Equal(kernel.NewCPUMask(0)) {
+			t.Fatalf("kworker affinity = %s", kw.Affinity)
+		}
+	}
+}
+
+func TestProcCmdline(t *testing.T) {
+	k := newFugakuKernel(t)
+	cmdline, err := k.Proc().Read("/proc/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cmdline, "nohz_full=0-47") {
+		t.Fatalf("cmdline missing nohz_full for the 48 app cores: %s", cmdline)
+	}
+	ofp := newOFPKernel(t)
+	cmdlineOFP, err := ofp.Proc().Read("/proc/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cmdlineOFP, "transparent_hugepage=always") {
+		t.Fatalf("OFP cmdline missing THP: %s", cmdlineOFP)
+	}
+}
+
+func TestProcTHPAndHugepageFiles(t *testing.T) {
+	fugaku := newFugakuKernel(t)
+	v, err := fugaku.Proc().Read("/sys/kernel/mm/transparent_hugepage/enabled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "[never]") {
+		t.Fatalf("Fugaku must have THP off (uses hugeTLBfs): %s", v)
+	}
+	over, err := fugaku.Proc().Read("/proc/sys/vm/nr_overcommit_hugepages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over == "0" {
+		t.Fatal("Fugaku must have hugepage overcommit enabled (Sec. 4.1.3)")
+	}
+	ofp := newOFPKernel(t)
+	v, _ = ofp.Proc().Read("/sys/kernel/mm/transparent_hugepage/enabled")
+	if !strings.Contains(v, "[always]") {
+		t.Fatalf("OFP must have THP on: %s", v)
+	}
+	if over, _ := ofp.Proc().Read("/proc/sys/vm/nr_overcommit_hugepages"); over != "0" {
+		t.Fatalf("OFP has no hugeTLBfs overcommit: %s", over)
+	}
+}
+
+func TestProcFilesAndUnknowns(t *testing.T) {
+	k := newFugakuKernel(t)
+	fs := k.Proc()
+	files := fs.Files()
+	if len(files) < 8 {
+		t.Fatalf("files = %d", len(files))
+	}
+	for _, f := range files {
+		if _, err := fs.Read(f); err != nil {
+			t.Fatalf("listed file %s unreadable: %v", f, err)
+		}
+	}
+	if _, err := fs.Read("/proc/nope"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fs.Write("/proc/nope", "1"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("err = %v", err)
+	}
+}

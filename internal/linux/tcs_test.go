@@ -1,0 +1,74 @@
+package linux
+
+import (
+	"testing"
+	"time"
+
+	"mkos/internal/sim"
+)
+
+func TestTCSCollectorPeriodicReads(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewTCSCollector(48, 10*time.Second)
+	// Simulate application activity on the PMUs.
+	for i := 0; i < 48; i++ {
+		c.PMU(i).AccountUser(time.Second, 1_000_000)
+		c.PMU(i).FPOps = 5000
+		c.PMU(i).MemReads = 300
+	}
+	c.Start(e)
+	e.RunUntil(sim.Time(35 * time.Second))
+	samples := c.Samples()
+	if len(samples) != 3 { // t=10,20,30
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	s := samples[0]
+	if s.Cycles != 48_000_000 {
+		t.Fatalf("aggregated cycles = %d", s.Cycles)
+	}
+	if s.FPOps != 48*5000 || s.MemReads != 48*300 {
+		t.Fatalf("aggregation wrong: %+v", s)
+	}
+	// Every read was a cross-core IPI — the Sec. 4.2.1 interference.
+	if c.IPIsDelivered() != 3*48 {
+		t.Fatalf("IPIs = %d, want 144", c.IPIsDelivered())
+	}
+	for i := 0; i < 48; i++ {
+		if c.PMU(i).ReadsViaIPI != 3 {
+			t.Fatalf("core %d saw %d IPIs, want 3", i, c.PMU(i).ReadsViaIPI)
+		}
+	}
+}
+
+func TestTCSCollectorStopCommand(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewTCSCollector(4, 10*time.Second)
+	c.Start(e)
+	e.RunUntil(sim.Time(15 * time.Second))
+	if len(c.Samples()) != 1 {
+		t.Fatalf("samples before stop = %d", len(c.Samples()))
+	}
+	// The per-job stop command: no further reads, no further IPIs.
+	c.Stop()
+	before := c.IPIsDelivered()
+	e.RunUntil(sim.Time(100 * time.Second))
+	if len(c.Samples()) != 1 {
+		t.Fatal("collector kept sampling after Stop")
+	}
+	if c.IPIsDelivered() != before {
+		t.Fatal("IPIs delivered after Stop")
+	}
+}
+
+func TestTCSCollectorBounds(t *testing.T) {
+	c := NewTCSCollector(2, 0) // default period applied
+	if c.period != 11*time.Second {
+		t.Fatalf("default period = %v", c.period)
+	}
+	if c.PMU(-1) != nil || c.PMU(2) != nil {
+		t.Fatal("out-of-range PMU must be nil")
+	}
+	if c.PMU(0) == nil {
+		t.Fatal("valid PMU missing")
+	}
+}

@@ -1,0 +1,103 @@
+package linux
+
+import (
+	"errors"
+	"time"
+
+	"mkos/internal/mem"
+	"mkos/internal/sim"
+)
+
+// Transparent Huge Pages: the OFP large-page mechanism (Table 1). Unlike
+// hugeTLBfs, THP is opportunistic — khugepaged scans process memory in the
+// background and collapses aligned 4 KiB runs into 2 MiB pages when the
+// buddy allocator can still produce high-order blocks, and page faults may
+// trigger direct compaction stalls trying to assemble one synchronously.
+// Both behaviours matter to the study: collapse success decays with
+// fragmentation (why THP coverage degrades where hugeTLBfs + virtual NUMA
+// does not, Sec. 4.1.2/4.1.3), and khugepaged/compaction work is itself a
+// noise source on OFP (the "thp-compaction" entry of the noise profile).
+type Khugepaged struct {
+	buddy *mem.Buddy
+
+	// ScanPagesPerPass is how many base pages one khugepaged pass examines
+	// (pages_to_scan).
+	ScanPagesPerPass int
+	// ScanPeriod is the sleep between passes (scan_sleep_millisecs).
+	ScanPeriod time.Duration
+
+	collapsed   uint64
+	failed      uint64
+	directStall time.Duration
+}
+
+// THP errors.
+var ErrTHPDisabled = errors.New("linux: THP not configured on this kernel")
+
+// hugeOrder is the buddy order of a 2 MiB block over 4 KiB base pages.
+const hugeOrder = 9
+
+// NewTHP attaches THP management to a buddy allocator with 4 KiB base pages
+// (the x86 configuration; RHEL/aarch64 uses hugeTLBfs instead, Sec. 4.1.3).
+func NewKhugepaged(buddy *mem.Buddy) (*Khugepaged, error) {
+	if buddy == nil || buddy.BasePage() != 4<<10 {
+		return nil, ErrTHPDisabled
+	}
+	return &Khugepaged{
+		buddy:            buddy,
+		ScanPagesPerPass: 4096,
+		ScanPeriod:       10 * time.Second,
+	}, nil
+}
+
+// CollapseProbability is the chance one collapse attempt finds a free
+// 2 MiB-aligned block: it tracks the buddy's high-order availability.
+func (t *Khugepaged) CollapseProbability() float64 {
+	return 1 - t.buddy.Fragmentation(hugeOrder)
+}
+
+// KhugepagedPass models one scan pass: attempts collapses and returns the
+// CPU time consumed — the time that becomes OS noise on whichever core
+// khugepaged lands on.
+func (t *Khugepaged) KhugepagedPass(rng *sim.Rand) time.Duration {
+	const perPageScan = 80 * time.Nanosecond
+	const perCollapse = 60 * time.Microsecond // copy + remap 512 PTEs
+	cost := time.Duration(t.ScanPagesPerPass) * perPageScan
+	attempts := t.ScanPagesPerPass / 512
+	p := t.CollapseProbability()
+	for i := 0; i < attempts; i++ {
+		if rng.Bernoulli(p) {
+			t.collapsed++
+			cost += perCollapse
+		} else {
+			t.failed++
+		}
+	}
+	return cost
+}
+
+// FaultAlloc models a THP-eligible page fault: it tries to grab a 2 MiB
+// block; failure falls back to a base page after a direct-compaction stall
+// whose length grows with fragmentation. It returns the granted page size
+// and the stall.
+func (t *Khugepaged) FaultAlloc(rng *sim.Rand) (mem.PageSize, time.Duration) {
+	p := t.CollapseProbability()
+	if rng.Bernoulli(p) {
+		if r, err := t.buddy.AllocOrder(hugeOrder); err == nil {
+			// Model bookkeeping only; hand the block straight back so the
+			// caller's own accounting owns real allocations.
+			_ = t.buddy.Free(r)
+			return mem.Page2M, 0
+		}
+	}
+	// Direct compaction: scan cost proportional to how fragmented we are.
+	frag := t.buddy.Fragmentation(hugeOrder)
+	stall := time.Duration(float64(2*time.Millisecond) * frag)
+	t.directStall += stall
+	return mem.Page4K, stall
+}
+
+// Stats returns (collapsed, failed, total direct-compaction stall).
+func (t *Khugepaged) Stats() (collapsed, failed uint64, stall time.Duration) {
+	return t.collapsed, t.failed, t.directStall
+}

@@ -1,0 +1,141 @@
+package linux
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mkos/internal/mem"
+	"mkos/internal/sim"
+)
+
+func thpFixture(t *testing.T) (*Khugepaged, *mem.Buddy) {
+	t.Helper()
+	buddy, err := mem.NewBuddy(0, 256<<20, 4<<10, 10) // 4 MiB max blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	thp, err := NewKhugepaged(buddy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return thp, buddy
+}
+
+func TestNewKhugepagedRequires4KBase(t *testing.T) {
+	b64, err := mem.NewBuddy(0, 256<<20, 64<<10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewKhugepaged(b64); !errors.Is(err, ErrTHPDisabled) {
+		t.Fatalf("err = %v, want ErrTHPDisabled (aarch64 uses hugeTLBfs)", err)
+	}
+	if _, err := NewKhugepaged(nil); !errors.Is(err, ErrTHPDisabled) {
+		t.Fatalf("nil buddy err = %v", err)
+	}
+}
+
+func TestTHPPristineCollapsesEverything(t *testing.T) {
+	thp, _ := thpFixture(t)
+	if p := thp.CollapseProbability(); p != 1 {
+		t.Fatalf("pristine collapse probability = %v", p)
+	}
+	rng := sim.NewRand(1)
+	cost := thp.KhugepagedPass(rng)
+	if cost <= 0 {
+		t.Fatal("khugepaged pass must consume CPU")
+	}
+	collapsed, failed, _ := thp.Stats()
+	if failed != 0 || collapsed == 0 {
+		t.Fatalf("pristine pass: collapsed=%d failed=%d", collapsed, failed)
+	}
+	page, stall := thp.FaultAlloc(rng)
+	if page != mem.Page2M || stall != 0 {
+		t.Fatalf("pristine fault: page=%v stall=%v", page, stall)
+	}
+}
+
+// fragment pins single pages so no 2 MiB block survives.
+func fragment(t *testing.T, buddy *mem.Buddy) {
+	t.Helper()
+	var regs []mem.Region
+	for {
+		r, err := buddy.Alloc(4 << 10)
+		if err != nil {
+			break
+		}
+		regs = append(regs, r)
+		if len(regs) > 1<<20 {
+			t.Fatal("runaway allocation")
+		}
+	}
+	// Free all but every 512th page: every 2 MiB run keeps one pinned page.
+	for i, r := range regs {
+		if i%512 == 256 {
+			continue
+		}
+		if err := buddy.Free(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTHPFragmentationDegradesCollapse(t *testing.T) {
+	thp, buddy := thpFixture(t)
+	fragment(t, buddy)
+	p := thp.CollapseProbability()
+	if p > 0.2 {
+		t.Fatalf("fragmented collapse probability = %v, want near 0", p)
+	}
+	rng := sim.NewRand(2)
+	_ = thp.KhugepagedPass(rng)
+	collapsed, failed, _ := thp.Stats()
+	if failed == 0 {
+		t.Fatalf("fragmented pass must fail collapses (collapsed=%d)", collapsed)
+	}
+	// Faults fall back to base pages with compaction stalls.
+	sawStall := false
+	for i := 0; i < 50; i++ {
+		page, stall := thp.FaultAlloc(rng)
+		if page == mem.Page4K && stall > 0 {
+			sawStall = true
+		}
+	}
+	if !sawStall {
+		t.Fatal("fragmented faults must stall in direct compaction")
+	}
+	_, _, totalStall := thp.Stats()
+	if totalStall <= 0 {
+		t.Fatal("stall accounting missing")
+	}
+}
+
+func TestTHPFaultAllocDoesNotLeak(t *testing.T) {
+	thp, buddy := thpFixture(t)
+	free := buddy.FreeBytes()
+	rng := sim.NewRand(3)
+	for i := 0; i < 100; i++ {
+		thp.FaultAlloc(rng)
+	}
+	if buddy.FreeBytes() != free {
+		t.Fatal("FaultAlloc leaked buddy memory")
+	}
+}
+
+func TestKhugepagedCostGrowsWithCollapses(t *testing.T) {
+	thpA, _ := thpFixture(t)
+	thpB, buddyB := thpFixture(t)
+	fragment(t, buddyB)
+	rng := sim.NewRand(4)
+	costClean := thpA.KhugepagedPass(rng)
+	costFrag := thpB.KhugepagedPass(sim.NewRand(4))
+	// Collapses dominate the pass cost; a fragmented heap collapses less
+	// and therefore scans cheaper — but the *application* pays compaction
+	// stalls instead.
+	if costFrag >= costClean {
+		t.Fatalf("fragmented pass %v should cost less than clean %v", costFrag, costClean)
+	}
+	if thpA.ScanPeriod != 10*time.Second {
+		t.Fatal("default scan period wrong")
+	}
+}

@@ -1,0 +1,100 @@
+package mckernel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mkos/internal/kernel"
+	"mkos/internal/mem"
+)
+
+// Device mapping (Sec. 5): "relying on the proxy process, McKernel provides
+// transparent access to Linux device drivers not only in the form of
+// offloaded system calls (e.g., through write() or ioctl()), but also via
+// direct device mappings." A device's MMIO window (doorbells, send/receive
+// queues) is mapped straight into the McKernel process's address space, so
+// the data path never crosses the IKC — only the control path (setup,
+// teardown, STAG registration without the PicoDriver) is offloaded.
+
+// Device describes a Linux-driver-owned device whose MMIO window can be
+// mapped into LWK processes.
+type Device struct {
+	Name      string
+	MMIOBytes int64
+	// DoorbellCost is one data-path operation through a mapped window.
+	DoorbellCost time.Duration
+}
+
+// TofuNIC returns the Fugaku interconnect device.
+func TofuNIC() Device {
+	return Device{Name: "tofu0", MMIOBytes: 16 << 20, DoorbellCost: 150 * time.Nanosecond}
+}
+
+// OmniPathHFI returns the OFP interconnect device.
+func OmniPathHFI() Device {
+	return Device{Name: "hfi1_0", MMIOBytes: 8 << 20, DoorbellCost: 250 * time.Nanosecond}
+}
+
+// DeviceMapping is a device window mapped into one process.
+type DeviceMapping struct {
+	Device Device
+	VMA    *mem.VMA
+	proc   *Process
+}
+
+// Device-mapping errors.
+var (
+	ErrProcessExited = errors.New("mckernel: process has exited")
+	ErrNotMapped     = errors.New("mckernel: device not mapped")
+)
+
+// MapDevice installs a device's MMIO window into the process's address
+// space. Setup is a control-path operation: it is delegated to Linux (the
+// driver must program the IOMMU and validate access), costing an IKC round
+// trip plus driver work — paid once.
+func (in *Instance) MapDevice(p *Process, dev Device) (*DeviceMapping, time.Duration, error) {
+	if p.Exited {
+		return nil, 0, fmt.Errorf("%w: pid %d", ErrProcessExited, p.PID)
+	}
+	if dev.MMIOBytes <= 0 {
+		return nil, 0, fmt.Errorf("mckernel: device %q has no MMIO window", dev.Name)
+	}
+	vma, err := p.addressSpace().Map(dev.MMIOBytes, mem.Page64K, false, "mmio:"+dev.Name)
+	if err != nil {
+		return nil, 0, err
+	}
+	setup := in.IKC.RoundTrip() + 8*time.Microsecond // driver-side window setup
+	m := &DeviceMapping{Device: dev, VMA: vma, proc: p}
+	p.devmaps = append(p.devmaps, m)
+	return m, setup, nil
+}
+
+// DataPathOp is one device operation through the mapped window: a doorbell
+// ring or queue-descriptor write. It costs only the device's MMIO latency —
+// no system call, no IKC, which is the entire point of the mechanism.
+func (m *DeviceMapping) DataPathOp() time.Duration {
+	return m.Device.DoorbellCost
+}
+
+// ControlPathOp is a device operation that must go through the Linux driver
+// (queue creation, teardown): an offloaded ioctl.
+func (in *Instance) ControlPathOp(m *DeviceMapping) time.Duration {
+	return in.IKC.RoundTrip() + in.Host.SyscallCosts().Cost(kernel.SysIoctl)
+}
+
+// UnmapDevice removes the window.
+func (in *Instance) UnmapDevice(m *DeviceMapping) error {
+	p := m.proc
+	for i, cur := range p.devmaps {
+		if cur == m {
+			p.devmaps = append(p.devmaps[:i], p.devmaps[i+1:]...)
+			_, err := p.addressSpace().Unmap(m.VMA)
+			return err
+		}
+	}
+	return fmt.Errorf("%w: %s in pid %d", ErrNotMapped, m.Device.Name, p.PID)
+}
+
+// Mappings returns the process's live device mappings.
+func (p *Process) Mappings() []*DeviceMapping { return p.devmaps }

@@ -1,0 +1,126 @@
+package mckernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMapDeviceLifecycle(t *testing.T) {
+	in := fugakuInstance(t)
+	p, err := in.Spawn("mpi", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, setup, err := in.MapDevice(p, TofuNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup <= 0 {
+		t.Fatal("control-path setup must cost something")
+	}
+	if len(p.Mappings()) != 1 {
+		t.Fatalf("mappings = %d", len(p.Mappings()))
+	}
+	if !strings.HasPrefix(m.VMA.Label, "mmio:") {
+		t.Fatalf("VMA label = %s", m.VMA.Label)
+	}
+	if m.VMA.Length < TofuNIC().MMIOBytes {
+		t.Fatal("window too small")
+	}
+	if err := in.UnmapDevice(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Mappings()) != 0 {
+		t.Fatal("mapping not removed")
+	}
+	if err := in.UnmapDevice(m); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("double unmap err = %v", err)
+	}
+}
+
+func TestMapDeviceValidation(t *testing.T) {
+	in := fugakuInstance(t)
+	p, err := in.Spawn("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Exited = true
+	if _, _, err := in.MapDevice(p, TofuNIC()); !errors.Is(err, ErrProcessExited) {
+		t.Fatalf("exited process err = %v", err)
+	}
+	p.Exited = false
+	if _, _, err := in.MapDevice(p, Device{Name: "bad"}); err == nil {
+		t.Fatal("zero-size window must fail")
+	}
+}
+
+// TestDataPathBypassesIKC is the mechanism's whole value: data-path
+// operations through the mapped window must be orders of magnitude cheaper
+// than the control path (offloaded ioctl) and must not touch the IKC.
+func TestDataPathBypassesIKC(t *testing.T) {
+	in := fugakuInstance(t)
+	p, err := in.Spawn("mpi", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := in.MapDevice(p, TofuNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgsBefore := in.IKC.Messages()
+	data := m.DataPathOp()
+	if in.IKC.Messages() != msgsBefore {
+		t.Fatal("data path must not touch the IKC")
+	}
+	control := in.ControlPathOp(m)
+	if in.IKC.Messages() == msgsBefore {
+		t.Fatal("control path must ride the IKC")
+	}
+	if data*10 >= control {
+		t.Fatalf("data path %v must be >=10x cheaper than control path %v", data, control)
+	}
+}
+
+func TestDevicePresets(t *testing.T) {
+	tofu, hfi := TofuNIC(), OmniPathHFI()
+	if tofu.Name == "" || hfi.Name == "" {
+		t.Fatal("unnamed devices")
+	}
+	if tofu.DoorbellCost <= 0 || hfi.DoorbellCost <= 0 {
+		t.Fatal("free doorbells")
+	}
+	// Tofu's barrier-network integration gives it the cheaper doorbell.
+	if tofu.DoorbellCost >= hfi.DoorbellCost {
+		t.Fatal("TofuD doorbell should beat Omni-Path")
+	}
+}
+
+func TestMultipleDeviceMappings(t *testing.T) {
+	in := fugakuInstance(t)
+	p, err := in.Spawn("multi", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _, err := in.MapDevice(p, TofuNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := in.MapDevice(p, Device{Name: "tofu1", MMIOBytes: 16 << 20, DoorbellCost: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.VMA.Start == m2.VMA.Start {
+		t.Fatal("windows overlap")
+	}
+	if len(p.Mappings()) != 2 {
+		t.Fatalf("mappings = %d", len(p.Mappings()))
+	}
+	// Unmapping the first leaves the second.
+	if err := in.UnmapDevice(m1); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Mappings()) != 1 || p.Mappings()[0] != m2 {
+		t.Fatal("wrong mapping removed")
+	}
+}

@@ -1,0 +1,150 @@
+package mckernel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Futex is McKernel's in-LWK futex implementation. The paper lists futex
+// among the performance-sensitive calls the LWK serves locally (Sec. 5) —
+// OpenMP barriers and MPI progress loops live on it, so a delegation round
+// trip per wait/wake would be fatal. The model implements the wait/wake
+// protocol over the cooperative scheduler.
+type FutexTable struct {
+	sched *Scheduler
+	// waiters holds per-address FIFO wait queues.
+	waiters map[int64][]*Thread
+	// values is the model's view of the futex words.
+	values map[int64]int32
+}
+
+// NewFutexTable builds the table over the instance's scheduler.
+func NewFutexTable(sched *Scheduler) *FutexTable {
+	return &FutexTable{
+		sched:   sched,
+		waiters: make(map[int64][]*Thread),
+		values:  make(map[int64]int32),
+	}
+}
+
+// Futex errors.
+var (
+	ErrFutexAgain  = errors.New("mckernel: futex value changed (EAGAIN)")
+	ErrFutexNotRun = errors.New("mckernel: futex op from non-running thread")
+)
+
+// Store sets a futex word (the userspace atomic store).
+func (f *FutexTable) Store(addr int64, val int32) { f.values[addr] = val }
+
+// Load reads a futex word.
+func (f *FutexTable) Load(addr int64) int32 { return f.values[addr] }
+
+// Wait blocks the thread on addr if the word still holds expect, following
+// FUTEX_WAIT semantics: a mismatch returns EAGAIN without blocking (the
+// lost-wakeup guard).
+func (f *FutexTable) Wait(th *Thread, addr int64, expect int32) error {
+	if th.State != ThreadRunning {
+		return fmt.Errorf("%w: tid %d state %d", ErrFutexNotRun, th.TID, th.State)
+	}
+	if f.values[addr] != expect {
+		return ErrFutexAgain
+	}
+	if err := f.sched.Block(th); err != nil {
+		return err
+	}
+	f.waiters[addr] = append(f.waiters[addr], th)
+	return nil
+}
+
+// Wake releases up to n waiters on addr and returns how many woke, FIFO
+// order like the kernel's plist for equal priorities.
+func (f *FutexTable) Wake(addr int64, n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	q := f.waiters[addr]
+	woken := 0
+	for len(q) > 0 && woken < n {
+		th := q[0]
+		q = q[1:]
+		if err := f.sched.Wake(th); err != nil {
+			return woken, err
+		}
+		woken++
+	}
+	if len(q) == 0 {
+		delete(f.waiters, addr)
+	} else {
+		f.waiters[addr] = q
+	}
+	return woken, nil
+}
+
+// Requeue wakes up to nWake waiters on from and moves the rest (up to
+// nMove) onto to — FUTEX_CMP_REQUEUE, the primitive pthread condition
+// variables need to avoid thundering herds.
+func (f *FutexTable) Requeue(from, to int64, nWake, nMove int, expect int32) (woken, moved int, err error) {
+	if f.values[from] != expect {
+		return 0, 0, ErrFutexAgain
+	}
+	woken, err = f.Wake(from, nWake)
+	if err != nil {
+		return
+	}
+	q := f.waiters[from]
+	for len(q) > 0 && moved < nMove {
+		th := q[0]
+		q = q[1:]
+		f.waiters[to] = append(f.waiters[to], th)
+		moved++
+	}
+	if len(q) == 0 {
+		delete(f.waiters, from)
+	} else {
+		f.waiters[from] = q
+	}
+	return
+}
+
+// Waiters returns the queue depth on addr.
+func (f *FutexTable) Waiters(addr int64) int { return len(f.waiters[addr]) }
+
+// Barrier implements an n-thread barrier over futexes, the construct whose
+// latency the paper's hardware-barrier discussion targets (Sec. 4.1.5):
+// the last arriver flips the generation word and wakes everyone.
+type Barrier struct {
+	futex   *FutexTable
+	n       int
+	arrived int
+	genAddr int64
+}
+
+// NewBarrier builds an n-thread futex barrier at the given generation word.
+func NewBarrier(f *FutexTable, n int, genAddr int64) (*Barrier, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mckernel: barrier size %d", n)
+	}
+	f.Store(genAddr, 0)
+	return &Barrier{futex: f, n: n, genAddr: genAddr}, nil
+}
+
+// Arrive registers a thread at the barrier. The last arriver increments the
+// generation and wakes the waiters (returns released=true); earlier
+// arrivers are blocked on the generation word.
+func (b *Barrier) Arrive(th *Thread) (released bool, err error) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		gen := b.futex.Load(b.genAddr)
+		b.futex.Store(b.genAddr, gen+1)
+		if _, err := b.futex.Wake(b.genAddr, b.n); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	gen := b.futex.Load(b.genAddr)
+	if err := b.futex.Wait(th, b.genAddr, gen); err != nil {
+		return false, err
+	}
+	return false, nil
+}

@@ -1,0 +1,178 @@
+package mckernel
+
+import (
+	"errors"
+	"testing"
+)
+
+// futexFixture spawns a process with n threads and dispatches all of them.
+func futexFixture(t *testing.T, n int) (*Instance, *FutexTable, []*Thread) {
+	t.Helper()
+	in := fugakuInstance(t)
+	p, err := in.Spawn("omp", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var running []*Thread
+	for _, th := range p.Threads {
+		r, err := in.Scheduler.Dispatch(th.Core)
+		if err != nil {
+			t.Fatal(err)
+		}
+		running = append(running, r)
+	}
+	return in, NewFutexTable(in.Scheduler), running
+}
+
+func TestFutexWaitWake(t *testing.T) {
+	_, f, ths := futexFixture(t, 2)
+	const addr = 0x1000
+	f.Store(addr, 7)
+
+	if err := f.Wait(ths[0], addr, 7); err != nil {
+		t.Fatal(err)
+	}
+	if ths[0].State != ThreadBlocked {
+		t.Fatal("waiter not blocked")
+	}
+	if f.Waiters(addr) != 1 {
+		t.Fatalf("waiters = %d", f.Waiters(addr))
+	}
+	woken, err := f.Wake(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woken != 1 {
+		t.Fatalf("woken = %d", woken)
+	}
+	if ths[0].State != ThreadReady {
+		t.Fatal("waiter not woken")
+	}
+	if f.Waiters(addr) != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestFutexLostWakeupGuard(t *testing.T) {
+	_, f, ths := futexFixture(t, 1)
+	const addr = 0x2000
+	f.Store(addr, 1)
+	// The value changed before the wait: EAGAIN, no block.
+	if err := f.Wait(ths[0], addr, 0); !errors.Is(err, ErrFutexAgain) {
+		t.Fatalf("err = %v, want EAGAIN", err)
+	}
+	if ths[0].State != ThreadRunning {
+		t.Fatal("EAGAIN must not block")
+	}
+}
+
+func TestFutexWaitFromNonRunning(t *testing.T) {
+	in, f, _ := futexFixture(t, 1)
+	p, _ := in.Spawn("x", 1)
+	if err := f.Wait(p.Threads[0], 0x10, 0); !errors.Is(err, ErrFutexNotRun) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFutexWakeFIFOAndCount(t *testing.T) {
+	_, f, ths := futexFixture(t, 3)
+	const addr = 0x3000
+	f.Store(addr, 0)
+	for _, th := range ths {
+		if err := f.Wait(th, addr, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wake 2 of 3: the first two blockers in FIFO order.
+	woken, err := f.Wake(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woken != 2 {
+		t.Fatalf("woken = %d", woken)
+	}
+	if ths[0].State != ThreadReady || ths[1].State != ThreadReady {
+		t.Fatal("FIFO order violated")
+	}
+	if ths[2].State != ThreadBlocked {
+		t.Fatal("third waiter must stay blocked")
+	}
+	if f.Waiters(addr) != 1 {
+		t.Fatalf("waiters = %d", f.Waiters(addr))
+	}
+	// Waking more than available returns what it can; zero is a no-op.
+	if n, _ := f.Wake(addr, 10); n != 1 {
+		t.Fatalf("woken = %d", n)
+	}
+	if n, _ := f.Wake(addr, 0); n != 0 {
+		t.Fatal("wake 0 must be a no-op")
+	}
+}
+
+func TestFutexRequeue(t *testing.T) {
+	_, f, ths := futexFixture(t, 3)
+	const condAddr, mutexAddr = 0x4000, 0x5000
+	f.Store(condAddr, 0)
+	for _, th := range ths {
+		if err := f.Wait(th, condAddr, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Broadcast-style: wake one, requeue the rest onto the mutex.
+	woken, moved, err := f.Requeue(condAddr, mutexAddr, 1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woken != 1 || moved != 2 {
+		t.Fatalf("woken/moved = %d/%d, want 1/2", woken, moved)
+	}
+	if f.Waiters(condAddr) != 0 || f.Waiters(mutexAddr) != 2 {
+		t.Fatalf("queues = %d/%d", f.Waiters(condAddr), f.Waiters(mutexAddr))
+	}
+	// Requeue with stale expect fails.
+	f.Store(condAddr, 5)
+	if _, _, err := f.Requeue(condAddr, mutexAddr, 1, 1, 0); !errors.Is(err, ErrFutexAgain) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFutexBarrier(t *testing.T) {
+	_, f, ths := futexFixture(t, 4)
+	b, err := NewBarrier(f, 4, 0x6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First three arrivers block.
+	for i := 0; i < 3; i++ {
+		released, err := b.Arrive(ths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if released {
+			t.Fatalf("arriver %d released early", i)
+		}
+		if ths[i].State != ThreadBlocked {
+			t.Fatalf("arriver %d not blocked", i)
+		}
+	}
+	// The last arriver releases everyone.
+	released, err := b.Arrive(ths[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !released {
+		t.Fatal("last arriver must release the barrier")
+	}
+	for i := 0; i < 3; i++ {
+		if ths[i].State != ThreadReady {
+			t.Fatalf("waiter %d not released", i)
+		}
+	}
+	// The barrier is reusable: generation advanced.
+	if f.Load(0x6000) != 1 {
+		t.Fatalf("generation = %d", f.Load(0x6000))
+	}
+	if _, err := NewBarrier(f, 0, 0x7000); err == nil {
+		t.Fatal("zero-size barrier must fail")
+	}
+}

@@ -1,0 +1,105 @@
+package mckernel
+
+import (
+	"testing"
+)
+
+func TestMcexecBindsContiguousBlocks(t *testing.T) {
+	in := fugakuInstance(t)
+	// The paper's Fugaku geometry: 4 ranks x 12 threads = one rank per CMG.
+	job, err := in.Mcexec("lqcd", McexecOptions{Ranks: 4, ThreadsPerRank: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Ranks) != 4 {
+		t.Fatalf("ranks = %d", len(job.Ranks))
+	}
+	seen := map[int]int{}
+	for _, rp := range job.Ranks {
+		if len(rp.Cores) != 12 {
+			t.Fatalf("rank %d cores = %d", rp.Rank, len(rp.Cores))
+		}
+		// Contiguous block.
+		for i := 1; i < len(rp.Cores); i++ {
+			if rp.Cores[i] != rp.Cores[i-1]+1 {
+				t.Fatalf("rank %d block not contiguous: %v", rp.Rank, rp.Cores)
+			}
+		}
+		// Threads actually placed on the block.
+		for i, th := range rp.Proc.Threads {
+			if th.Core != rp.Cores[i] {
+				t.Fatalf("rank %d thread %d on core %d, want %d", rp.Rank, i, th.Core, rp.Cores[i])
+			}
+		}
+		for _, c := range rp.Cores {
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("core %d assigned to ranks %d and %d", c, prev, rp.Rank)
+			}
+			seen[c] = rp.Rank
+		}
+	}
+	// 4x12 on the 48-core A64FX partition: every core used exactly once.
+	if len(seen) != 48 {
+		t.Fatalf("cores used = %d, want 48", len(seen))
+	}
+}
+
+func TestMcexecValidation(t *testing.T) {
+	in := fugakuInstance(t)
+	if _, err := in.Mcexec("x", McexecOptions{Ranks: 0, ThreadsPerRank: 1}); err == nil {
+		t.Fatal("zero ranks must fail")
+	}
+	if _, err := in.Mcexec("x", McexecOptions{Ranks: 1, ThreadsPerRank: 0}); err == nil {
+		t.Fatal("zero threads must fail")
+	}
+	if _, err := in.Mcexec("x", McexecOptions{Ranks: 49, ThreadsPerRank: 1}); err == nil {
+		t.Fatal("overcommitted geometry must fail")
+	}
+}
+
+func TestMcexecHeapPremap(t *testing.T) {
+	in := fugakuInstance(t)
+	before := in.LWKMem.AllocatedBytes()
+	job, err := in.Mcexec("geofem", McexecOptions{Ranks: 4, ThreadsPerRank: 12, HeapBytes: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.SetupCost <= 0 {
+		t.Fatal("premap must pay fault cost at load")
+	}
+	if got := in.LWKMem.AllocatedBytes() - before; got != 4*(256<<20) {
+		t.Fatalf("LWK memory allocated = %d, want 1 GiB", got)
+	}
+	for _, rp := range job.Ranks {
+		if rp.HeapVMA == nil || !rp.HeapVMA.Populated {
+			t.Fatalf("rank %d heap not premapped", rp.Rank)
+		}
+		// Large pages via the contiguous bit.
+		if rp.HeapVMA.EffectivePage() != 2<<20 {
+			t.Fatalf("rank %d heap page = %d", rp.Rank, rp.HeapVMA.EffectivePage())
+		}
+	}
+	// Teardown: memory returns to the size-class cache, processes exit.
+	if err := in.ReleaseJob(job); err != nil {
+		t.Fatal(err)
+	}
+	if in.LWKMem.AllocatedBytes() != before {
+		t.Fatal("release leaked LWK memory")
+	}
+	if in.LWKMem.CachedBytes() != 4*(256<<20) {
+		t.Fatalf("cache = %d, want freed heaps cached (never returned to Linux)", in.LWKMem.CachedBytes())
+	}
+	for _, rp := range job.Ranks {
+		if !rp.Proc.Exited {
+			t.Fatal("processes must exit on release")
+		}
+	}
+}
+
+func TestMcexecHeapExhaustion(t *testing.T) {
+	in := fugakuInstance(t)
+	// Partition has 8 GiB; ask for far more.
+	if _, err := in.Mcexec("big", McexecOptions{Ranks: 4, ThreadsPerRank: 12, HeapBytes: 4 << 30}); err == nil {
+		t.Fatal("heap exceeding the partition must fail")
+	}
+}

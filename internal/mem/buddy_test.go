@@ -1,0 +1,279 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestBuddy(t *testing.T) *Buddy {
+	t.Helper()
+	// 64 MiB with 64 KiB base pages, max order 10 (64 MiB max block).
+	b, err := NewBuddy(0, 64<<20, 64<<10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBuddyBasicAllocFree(t *testing.T) {
+	b := newTestBuddy(t)
+	if b.FreeBytes() != 64<<20 {
+		t.Fatalf("initial free = %d", b.FreeBytes())
+	}
+	r, err := b.Alloc(100 << 10) // rounds to 128 KiB (order 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes != 128<<10 || r.Order != 1 {
+		t.Fatalf("allocated %d bytes order %d, want 128K order 1", r.Bytes, r.Order)
+	}
+	if b.UsedBytes() != 128<<10 {
+		t.Fatalf("used = %d", b.UsedBytes())
+	}
+	if err := b.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreeBytes() != 64<<20 {
+		t.Fatalf("free after release = %d", b.FreeBytes())
+	}
+	// Full coalescing must restore the single max-order block.
+	if b.FreeBlocksAt(10) != 1 {
+		t.Fatalf("max-order blocks after coalesce = %d, want 1", b.FreeBlocksAt(10))
+	}
+}
+
+func TestBuddyDoubleFree(t *testing.T) {
+	b := newTestBuddy(t)
+	r, err := b.Alloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(r); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free: err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestBuddyOutOfMemory(t *testing.T) {
+	b := newTestBuddy(t)
+	var regs []Region
+	for {
+		r, err := b.AllocOrder(10)
+		if err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("err = %v", err)
+			}
+			break
+		}
+		regs = append(regs, r)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("allocated %d max-order blocks from 64MiB/64MiB, want 1", len(regs))
+	}
+}
+
+func TestBuddyBadOrder(t *testing.T) {
+	b := newTestBuddy(t)
+	if _, err := b.AllocOrder(11); !errors.Is(err, ErrBadOrder) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := b.AllocOrder(-1); !errors.Is(err, ErrBadOrder) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := b.Alloc(128 << 20); !errors.Is(err, ErrBadOrder) {
+		t.Fatalf("oversized alloc err = %v", err)
+	}
+	if _, err := b.Alloc(0); err == nil {
+		t.Fatal("zero alloc must fail")
+	}
+}
+
+func TestBuddyConstructorValidation(t *testing.T) {
+	if _, err := NewBuddy(0, 0, 4096, 5); err == nil {
+		t.Fatal("zero size must fail")
+	}
+	if _, err := NewBuddy(0, 1<<20, 0, 5); err == nil {
+		t.Fatal("zero page must fail")
+	}
+	if _, err := NewBuddy(0, 3<<20, 1<<20, 1); err == nil {
+		t.Fatal("size not multiple of max block must fail")
+	}
+	if _, err := NewBuddy(0, 1<<20, 4096, 31); err == nil {
+		t.Fatal("excessive order must fail")
+	}
+}
+
+func TestBuddySplitAndCoalesceCounters(t *testing.T) {
+	b := newTestBuddy(t)
+	r, _ := b.Alloc(64 << 10) // order 0 from a single order-10 block: 10 splits
+	_, _, splits, _ := b.Stats()
+	if splits != 10 {
+		t.Fatalf("splits = %d, want 10", splits)
+	}
+	_ = b.Free(r)
+	_, _, _, coalesces := b.Stats()
+	if coalesces != 10 {
+		t.Fatalf("coalesces = %d, want 10", coalesces)
+	}
+}
+
+func TestBuddyFragmentation(t *testing.T) {
+	b := newTestBuddy(t)
+	if f := b.Fragmentation(10); f != 0 {
+		t.Fatalf("pristine fragmentation = %v", f)
+	}
+	// Allocate two small blocks out of the same max block and free only one:
+	// the remaining free memory cannot form a max-order block.
+	r1, _ := b.Alloc(64 << 10)
+	r2, _ := b.Alloc(64 << 10)
+	_ = b.Free(r1)
+	f := b.Fragmentation(10)
+	if f <= 0 || f > 1 {
+		t.Fatalf("fragmentation with pinned page = %v, want (0,1]", f)
+	}
+	_ = b.Free(r2)
+	if f := b.Fragmentation(10); f != 0 {
+		t.Fatalf("fragmentation after full free = %v", f)
+	}
+}
+
+func TestBuddyInterleavedChurnFragmentsHighOrders(t *testing.T) {
+	// Simulates the Sec. 4.1.2 hazard: long-lived small system allocations
+	// interleaved with application churn destroy high-order availability.
+	b := newTestBuddy(t)
+	rng := rand.New(rand.NewSource(1))
+	var pinned []Region
+	var churn []Region
+	for i := 0; i < 200; i++ {
+		r, err := b.Alloc(64 << 10)
+		if err != nil {
+			break
+		}
+		if rng.Intn(4) == 0 {
+			pinned = append(pinned, r)
+		} else {
+			churn = append(churn, r)
+		}
+	}
+	for _, r := range churn {
+		_ = b.Free(r)
+	}
+	if f := b.Fragmentation(9); f <= 0 {
+		t.Fatalf("expected high-order fragmentation with pinned pages, got %v", f)
+	}
+	for _, r := range pinned {
+		_ = b.Free(r)
+	}
+	if f := b.Fragmentation(10); f != 0 {
+		t.Fatalf("fragmentation should vanish after all frees, got %v", f)
+	}
+}
+
+func TestBuddyDeterministicPlacement(t *testing.T) {
+	// Identical operation sequences must give identical placements: the
+	// allocator must not depend on map iteration order.
+	run := func() []int64 {
+		b := newTestBuddy(t)
+		var bases []int64
+		var regs []Region
+		for i := 0; i < 50; i++ {
+			r, err := b.Alloc(64 << 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bases = append(bases, r.Base)
+			regs = append(regs, r)
+		}
+		for i := 0; i < 25; i++ {
+			_ = b.Free(regs[i*2])
+		}
+		for i := 0; i < 10; i++ {
+			r, err := b.Alloc(128 << 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bases = append(bases, r.Base)
+		}
+		return bases
+	}
+	a, c := run(), run()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("placement diverged at op %d: %d vs %d", i, a[i], c[i])
+		}
+	}
+}
+
+// Property: alloc/free round trips conserve memory exactly, for random
+// operation sequences.
+func TestQuickBuddyConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b, err := NewBuddy(0, 16<<20, 64<<10, 8)
+		if err != nil {
+			return false
+		}
+		var live []Region
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				order := int(op) % 4
+				r, err := b.AllocOrder(order)
+				if err == nil {
+					live = append(live, r)
+				}
+			} else {
+				idx := int(op) % len(live)
+				if b.Free(live[idx]) != nil {
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			}
+			var liveBytes int64
+			for _, r := range live {
+				liveBytes += r.Bytes
+			}
+			if b.UsedBytes() != liveBytes {
+				return false
+			}
+		}
+		for _, r := range live {
+			if b.Free(r) != nil {
+				return false
+			}
+		}
+		return b.FreeBytes() == 16<<20 && b.FreeBlocksAt(8) == 16<<20/(64<<10<<8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no two live regions overlap.
+func TestQuickBuddyNoOverlap(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b, err := NewBuddy(0, 8<<20, 64<<10, 7)
+		if err != nil {
+			return false
+		}
+		var live []Region
+		for _, op := range ops {
+			r, err := b.AllocOrder(int(op) % 3)
+			if err != nil {
+				continue
+			}
+			for _, o := range live {
+				if r.Base < o.End() && o.Base < r.End() {
+					return false
+				}
+			}
+			live = append(live, r)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func newHugeBuddy(t *testing.T) *Buddy {
+	t.Helper()
+	// 256 MiB, 64 KiB base pages, order 12 => 256 MiB max block... too big;
+	// order 11 gives 128 MiB blocks; choose order 5 (2 MiB) so huge pages
+	// are exactly max-order blocks.
+	b, err := NewBuddy(0, 256<<20, 64<<10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+type recordingCharger struct {
+	charged   int64
+	uncharged int64
+	limit     int64 // veto when charged-uncharged exceeds limit (bytes)
+}
+
+func (c *recordingCharger) ChargeSurplus(pages, pageBytes int64) error {
+	if c.limit > 0 && (c.charged-c.uncharged+pages*pageBytes) > c.limit {
+		return errors.New("cgroup limit")
+	}
+	c.charged += pages * pageBytes
+	return nil
+}
+
+func (c *recordingCharger) UncchargeSurplus(pages, pageBytes int64) {
+	c.uncharged += pages * pageBytes
+}
+
+func TestHugeTLBReservedPool(t *testing.T) {
+	b := newHugeBuddy(t)
+	h, err := NewHugeTLBfs(HugeTLBConfig{Page: Page2M, ReservedPool: 10}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reservation must shrink general memory (the paper's stated downside).
+	if b.FreeBytes() != 256<<20-10*(2<<20) {
+		t.Fatalf("free after reservation = %d", b.FreeBytes())
+	}
+	if err := h.Alloc(10); err != nil {
+		t.Fatal(err)
+	}
+	_, free, surplus := h.PoolPages()
+	if free != 0 || surplus != 0 {
+		t.Fatalf("pool state = free %d surplus %d", free, surplus)
+	}
+	// Pool exhausted and no overcommit: must fail.
+	if err := h.Alloc(1); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	if err := h.Release(10); err != nil {
+		t.Fatal(err)
+	}
+	_, free, _ = h.PoolPages()
+	if free != 10 {
+		t.Fatalf("pool free after release = %d", free)
+	}
+}
+
+func TestHugeTLBOvercommit(t *testing.T) {
+	b := newHugeBuddy(t)
+	h, err := NewHugeTLBfs(HugeTLBConfig{Page: Page2M, Overcommit: true}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fugaku config: no boot pool, pages come from the buddy at runtime.
+	if b.FreeBytes() != 256<<20 {
+		t.Fatal("overcommit-only config must not reserve at boot")
+	}
+	if err := h.Alloc(20); err != nil {
+		t.Fatal(err)
+	}
+	_, _, surplus := h.PoolPages()
+	if surplus != 20 {
+		t.Fatalf("surplus = %d", surplus)
+	}
+	if b.UsedBytes() != 20*(2<<20) {
+		t.Fatalf("buddy used = %d", b.UsedBytes())
+	}
+	if err := h.Release(20); err != nil {
+		t.Fatal(err)
+	}
+	if b.UsedBytes() != 0 {
+		t.Fatal("surplus release must return pages to the buddy allocator")
+	}
+}
+
+func TestHugeTLBSurplusMax(t *testing.T) {
+	b := newHugeBuddy(t)
+	h, _ := NewHugeTLBfs(HugeTLBConfig{Page: Page2M, Overcommit: true, SurplusMax: 5}, b)
+	if err := h.Alloc(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Alloc(1); !errors.Is(err, ErrOvercommitLimit) {
+		t.Fatalf("err = %v, want ErrOvercommitLimit", err)
+	}
+}
+
+func TestHugeTLBCgroupCharging(t *testing.T) {
+	b := newHugeBuddy(t)
+	h, _ := NewHugeTLBfs(HugeTLBConfig{Page: Page2M, ReservedPool: 2, Overcommit: true}, b)
+	ch := &recordingCharger{}
+	h.SetCharger(ch)
+	// First 2 pages come from the pool: not charged (pool pages are counted
+	// at reservation time in real systems).
+	if err := h.Alloc(2); err != nil {
+		t.Fatal(err)
+	}
+	if ch.charged != 0 {
+		t.Fatal("pool pages must not be charged as surplus")
+	}
+	// Next 3 are surplus: charged.
+	if err := h.Alloc(3); err != nil {
+		t.Fatal(err)
+	}
+	if ch.charged != 3*(2<<20) {
+		t.Fatalf("charged = %d", ch.charged)
+	}
+	if err := h.Release(5); err != nil {
+		t.Fatal(err)
+	}
+	if ch.uncharged != 3*(2<<20) {
+		t.Fatalf("uncharged = %d", ch.uncharged)
+	}
+}
+
+func TestHugeTLBCgroupVeto(t *testing.T) {
+	// This is the integration gap of Sec. 4.1.3: without the hook, surplus
+	// pages escape the memory cgroup; with it, the cgroup can veto.
+	b := newHugeBuddy(t)
+	h, _ := NewHugeTLBfs(HugeTLBConfig{Page: Page2M, Overcommit: true}, b)
+	ch := &recordingCharger{limit: 4 * (2 << 20)}
+	h.SetCharger(ch)
+	if err := h.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Alloc(1); err == nil {
+		t.Fatal("charger veto must fail the allocation")
+	}
+	_, _, surplus := h.PoolPages()
+	if surplus != 4 {
+		t.Fatalf("surplus after veto = %d, want 4", surplus)
+	}
+}
+
+func TestHugeTLBReleaseTooMany(t *testing.T) {
+	b := newHugeBuddy(t)
+	h, _ := NewHugeTLBfs(HugeTLBConfig{Page: Page2M, ReservedPool: 1}, b)
+	if err := h.Release(1); err == nil {
+		t.Fatal("releasing more than live must fail")
+	}
+}
+
+func TestHugeTLBZeroOps(t *testing.T) {
+	b := newHugeBuddy(t)
+	h, _ := NewHugeTLBfs(HugeTLBConfig{Page: Page2M, Overcommit: true}, b)
+	if err := h.Alloc(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Alloc(-3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugeTLBBadConfig(t *testing.T) {
+	b := newHugeBuddy(t)
+	if _, err := NewHugeTLBfs(HugeTLBConfig{Page: 0}, b); err == nil {
+		t.Fatal("zero page size must fail")
+	}
+	// Pool bigger than memory must fail.
+	if _, err := NewHugeTLBfs(HugeTLBConfig{Page: Page2M, ReservedPool: 1000}, b); err == nil {
+		t.Fatal("oversized pool must fail")
+	}
+}
+
+func TestHugeTLBStats(t *testing.T) {
+	b := newHugeBuddy(t)
+	h, _ := NewHugeTLBfs(HugeTLBConfig{Page: Page2M, ReservedPool: 2, Overcommit: true}, b)
+	_ = h.Alloc(5)
+	pool, surplus := h.Stats()
+	if pool != 2 || surplus != 3 {
+		t.Fatalf("stats = %d/%d, want 2/3", pool, surplus)
+	}
+}

@@ -1,0 +1,152 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VMA is one virtual memory area of an address space: a contiguous virtual
+// range backed by pages of one size.
+type VMA struct {
+	Start     int64
+	Length    int64
+	Page      PageSize
+	Contig    bool // mapped with the ARM64 contiguous bit (32 pages / entry)
+	Label     string
+	Backing   []Region
+	Populated bool // false until faulted in (demand paging)
+}
+
+// End returns the first byte past the VMA.
+func (v *VMA) End() int64 { return v.Start + v.Length }
+
+// TLBFootprint returns the number of last-level TLB entries needed to map
+// the whole VMA. The contiguous bit covers 32 physically contiguous pages
+// with one entry (Sec. 4.1.3).
+func (v *VMA) TLBFootprint() int64 {
+	pages := v.Page.PagesFor(v.Length)
+	if v.Contig {
+		return (pages + 31) / 32
+	}
+	return pages
+}
+
+// EffectivePage returns the reach of a single TLB entry in this VMA.
+func (v *VMA) EffectivePage() int64 {
+	if v.Contig {
+		return v.Page.Bytes() * 32
+	}
+	return v.Page.Bytes()
+}
+
+// AddressSpace is a process's page table, modelled at VMA granularity.
+type AddressSpace struct {
+	vmas   []*VMA // sorted by Start
+	nextVA int64
+}
+
+// Address-space errors.
+var (
+	ErrOverlap   = errors.New("mem: VMA overlap")
+	ErrNoMapping = errors.New("mem: no mapping at address")
+)
+
+// NewAddressSpace returns an empty address space. Virtual allocation starts
+// above the traditional null guard region.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{nextVA: 1 << 20}
+}
+
+// Map installs a VMA at a chosen virtual address and returns it.
+func (as *AddressSpace) Map(length int64, page PageSize, contig bool, label string) (*VMA, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("mem: non-positive mapping length %d", length)
+	}
+	length = page.Align(length)
+	v := &VMA{Start: as.nextVA, Length: length, Page: page, Contig: contig, Label: label}
+	as.nextVA = page.Align(v.End() + int64(page)) // guard gap
+	as.vmas = append(as.vmas, v)
+	return v, nil
+}
+
+// MapFixed installs a VMA at a caller-chosen address, failing on overlap.
+func (as *AddressSpace) MapFixed(start, length int64, page PageSize, contig bool, label string) (*VMA, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("mem: non-positive mapping length %d", length)
+	}
+	length = page.Align(length)
+	for _, v := range as.vmas {
+		if start < v.End() && v.Start < start+length {
+			return nil, fmt.Errorf("%w: [%d,%d) vs %q [%d,%d)", ErrOverlap, start, start+length, v.Label, v.Start, v.End())
+		}
+	}
+	v := &VMA{Start: start, Length: length, Page: page, Contig: contig, Label: label}
+	as.vmas = append(as.vmas, v)
+	if v.End() > as.nextVA {
+		as.nextVA = page.Align(v.End() + int64(page))
+	}
+	return v, nil
+}
+
+// Unmap removes a VMA, returning its backing regions for the caller to free.
+func (as *AddressSpace) Unmap(v *VMA) ([]Region, error) {
+	for i, cur := range as.vmas {
+		if cur == v {
+			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+			return v.Backing, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoMapping, v.Label)
+}
+
+// Find returns the VMA containing addr.
+func (as *AddressSpace) Find(addr int64) (*VMA, error) {
+	for _, v := range as.vmas {
+		if addr >= v.Start && addr < v.End() {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %#x", ErrNoMapping, addr)
+}
+
+// VMAs returns the areas sorted by start address.
+func (as *AddressSpace) VMAs() []*VMA {
+	out := append([]*VMA(nil), as.vmas...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// MappedBytes returns the total mapped length.
+func (as *AddressSpace) MappedBytes() int64 {
+	var n int64
+	for _, v := range as.vmas {
+		n += v.Length
+	}
+	return n
+}
+
+// TLBFootprint returns the total last-level TLB entries needed to cover the
+// whole address space.
+func (as *AddressSpace) TLBFootprint() int64 {
+	var n int64
+	for _, v := range as.vmas {
+		n += v.TLBFootprint()
+	}
+	return n
+}
+
+// EffectivePageSize returns the mapped-bytes-weighted harmonic mean of the
+// per-VMA effective page sizes. The harmonic mean is the right average
+// because TLB entry consumption per byte is 1/pageSize.
+func (as *AddressSpace) EffectivePageSize() int64 {
+	total := as.MappedBytes()
+	if total == 0 {
+		return 0
+	}
+	foot := as.TLBFootprint()
+	if foot == 0 {
+		return 0
+	}
+	return total / foot
+}

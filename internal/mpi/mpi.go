@@ -1,0 +1,243 @@
+// Package mpi is a cost-model MPI: communicators, point-to-point protocols
+// (eager vs rendezvous) and the classical collective algorithms, built on
+// the interconnect fabric models. The paper's applications ran on Intel MPI
+// (OFP) and Fujitsu MPI (Fugaku, inside TCS); this layer reproduces the
+// communication-cost structure those runtimes impose — protocol switch
+// points, intra- vs inter-node paths, and algorithm scaling — at the level
+// the evaluation depends on. It models time, not data: every operation
+// returns its completion cost.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"mkos/internal/interconnect"
+)
+
+// Comm is a communicator over a block rank-to-node mapping (ranks 0..R-1 on
+// node 0, and so on), the default placement of both platforms' schedulers.
+type Comm struct {
+	Size         int
+	RanksPerNode int
+	fabric       *interconnect.Fabric
+	nodes        int
+
+	// EagerThreshold is the protocol switch point: messages at or below it
+	// are sent eagerly (one traversal, receiver-side copy); larger ones use
+	// rendezvous (RTS/CTS handshake then zero-copy transfer).
+	EagerThreshold int64
+
+	// Intra-node shared-memory path parameters.
+	ShmLatency   time.Duration
+	ShmBandwidth float64 // bytes/s
+}
+
+// Comm errors.
+var (
+	ErrBadComm = errors.New("mpi: invalid communicator")
+	ErrBadRank = errors.New("mpi: rank out of range")
+	ErrBadSize = errors.New("mpi: negative message size")
+)
+
+// NewComm builds a communicator of size ranks over nodes nodes of the
+// fabric.
+func NewComm(fabric *interconnect.Fabric, nodes, ranksPerNode int) (*Comm, error) {
+	if fabric == nil || nodes < 1 || ranksPerNode < 1 {
+		return nil, fmt.Errorf("%w: %d nodes x %d ranks", ErrBadComm, nodes, ranksPerNode)
+	}
+	return &Comm{
+		Size:         nodes * ranksPerNode,
+		RanksPerNode: ranksPerNode,
+		fabric:       fabric,
+		nodes:        nodes,
+
+		EagerThreshold: 64 << 10, // both runtimes default near 64 KiB
+		ShmLatency:     300 * time.Nanosecond,
+		ShmBandwidth:   20e9,
+	}, nil
+}
+
+// NodeOf returns the node hosting a rank.
+func (c *Comm) NodeOf(rank int) (int, error) {
+	if rank < 0 || rank >= c.Size {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadRank, rank, c.Size)
+	}
+	return rank / c.RanksPerNode, nil
+}
+
+// SendCost is the completion time of one point-to-point message from src to
+// dst. Intra-node messages ride shared memory; inter-node ones ride the
+// fabric, with rendezvous adding a handshake round trip for large payloads.
+func (c *Comm) SendCost(bytes int64, src, dst int) (time.Duration, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadSize, bytes)
+	}
+	ns, err := c.NodeOf(src)
+	if err != nil {
+		return 0, err
+	}
+	nd, err := c.NodeOf(dst)
+	if err != nil {
+		return 0, err
+	}
+	if src == dst {
+		return 0, nil
+	}
+	if ns == nd {
+		// Shared-memory path: eager copies twice through the shm segment.
+		wire := time.Duration(float64(bytes) / c.ShmBandwidth * 1e9)
+		if bytes <= c.EagerThreshold {
+			return c.ShmLatency + 2*wire, nil
+		}
+		return 2*c.ShmLatency + wire, nil
+	}
+	p2p, err := c.fabric.PointToPoint(bytes, c.nodes)
+	if err != nil {
+		return 0, err
+	}
+	if bytes <= c.EagerThreshold {
+		return p2p, nil
+	}
+	// Rendezvous: RTS + CTS (small control messages) before the payload.
+	ctl, err := c.fabric.PointToPoint(0, c.nodes)
+	if err != nil {
+		return 0, err
+	}
+	return 2*ctl + p2p, nil
+}
+
+// worstSend is the cost of a stage where every participant exchanges with a
+// partner distance apart in rank space — bounded by the inter-node path
+// whenever any pair crosses nodes.
+func (c *Comm) worstSend(bytes int64, distance int) (time.Duration, error) {
+	if distance < c.RanksPerNode {
+		// Some pairs are intra-node, but at least one crosses whenever the
+		// communicator spans nodes; the stage completes at the slowest pair.
+		if c.nodes > 1 {
+			return c.SendCost(bytes, 0, c.RanksPerNode) // representative cross pair
+		}
+		return c.SendCost(bytes, 0, distance%c.Size)
+	}
+	return c.SendCost(bytes, 0, distance%c.Size)
+}
+
+// BarrierCost is a dissemination barrier: ceil(log2 P) rounds of zero-byte
+// exchanges at doubling distances.
+func (c *Comm) BarrierCost() (time.Duration, error) {
+	if c.Size == 1 {
+		return 0, nil
+	}
+	rounds := int(math.Ceil(math.Log2(float64(c.Size))))
+	var total time.Duration
+	for r := 0; r < rounds; r++ {
+		d, err := c.worstSend(0, 1<<r)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total, nil
+}
+
+// AllreduceCost uses recursive doubling below the bandwidth crossover and
+// Rabenseifner's reduce-scatter + allgather above it.
+func (c *Comm) AllreduceCost(bytes int64) (time.Duration, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadSize, bytes)
+	}
+	if c.Size == 1 {
+		return 0, nil
+	}
+	rounds := int(math.Ceil(math.Log2(float64(c.Size))))
+	if bytes <= 64<<10 {
+		var total time.Duration
+		for r := 0; r < rounds; r++ {
+			d, err := c.worstSend(bytes, 1<<r)
+			if err != nil {
+				return 0, err
+			}
+			total += d
+		}
+		return total, nil
+	}
+	// Rabenseifner: 2 * (P-1)/P of the payload crosses per process, spread
+	// over 2*log2(P) stages with shrinking/growing segments.
+	var total time.Duration
+	seg := bytes
+	for r := 0; r < rounds; r++ {
+		seg /= 2
+		d, err := c.worstSend(seg, 1<<r)
+		if err != nil {
+			return 0, err
+		}
+		total += 2 * d // reduce-scatter stage + mirrored allgather stage
+	}
+	return total, nil
+}
+
+// BcastCost is a binomial-tree broadcast for small messages and a
+// scatter+allgather for large ones.
+func (c *Comm) BcastCost(bytes int64) (time.Duration, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadSize, bytes)
+	}
+	if c.Size == 1 {
+		return 0, nil
+	}
+	rounds := int(math.Ceil(math.Log2(float64(c.Size))))
+	if bytes <= c.EagerThreshold {
+		var total time.Duration
+		for r := 0; r < rounds; r++ {
+			d, err := c.worstSend(bytes, 1<<r)
+			if err != nil {
+				return 0, err
+			}
+			total += d
+		}
+		return total, nil
+	}
+	// Large: scatter the payload down the tree then allgather.
+	scatter, err := c.worstSend(bytes/int64(c.Size)+1, 1)
+	if err != nil {
+		return 0, err
+	}
+	ag, err := c.AllreduceCost(bytes / 2) // allgather moves ~the same volume
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(rounds)*scatter + ag, nil
+}
+
+// AlltoallCost: every rank exchanges bytes with every other rank; the
+// pairwise-exchange algorithm runs P-1 rounds.
+func (c *Comm) AlltoallCost(bytes int64) (time.Duration, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadSize, bytes)
+	}
+	if c.Size == 1 {
+		return 0, nil
+	}
+	per, err := c.worstSend(bytes, c.RanksPerNode) // most rounds cross nodes
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(c.Size-1) * per, nil
+}
+
+// NeighborExchangeCost is the halo pattern: each rank exchanges bytes with
+// faces neighbours; face exchanges overlap on the NIC except for the wire
+// serialization.
+func (c *Comm) NeighborExchangeCost(bytes int64, faces int) (time.Duration, error) {
+	if faces < 1 {
+		faces = 1
+	}
+	one, err := c.worstSend(bytes, c.RanksPerNode)
+	if err != nil {
+		return 0, err
+	}
+	wire := time.Duration(float64(bytes) * float64(faces-1) / c.fabric.Bandwidth * 1e9)
+	return 2*one + wire, nil
+}

@@ -1,0 +1,92 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Process pinning à la Intel MPI. The paper's OFP Linux runs used
+// I_MPI_PIN_PROCESSOR_EXCLUDE_LIST=0-3,68-71,136-139,204-207 to keep ranks
+// off the system CPU cores (AD appendix) — on the KNL's 272 logical CPUs,
+// those four ranges are exactly the four hardware threads of physical cores
+// 0-3 (logical CPU = core + 68 * thread). This file implements the list
+// syntax and the block pinning Intel MPI applies.
+
+// Pinning errors.
+var (
+	ErrBadList   = errors.New("mpi: invalid processor list")
+	ErrPinNoRoom = errors.New("mpi: not enough logical CPUs after exclusion")
+)
+
+// ParseProcessorList parses the Intel MPI list syntax: comma-separated
+// entries, each a single CPU or an inclusive range ("0-3,68-71,200").
+func ParseProcessorList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("%w: empty entry in %q", ErrBadList, s)
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a < 0 || b < a {
+				return nil, fmt.Errorf("%w: range %q", ErrBadList, part)
+			}
+			for c := a; c <= b; c++ {
+				seen[c] = true
+			}
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("%w: entry %q", ErrBadList, part)
+		}
+		seen[c] = true
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// OFPExcludeList is the exact setting from the paper's artifact
+// description, masking out the hardware threads of physical cores 0-3.
+const OFPExcludeList = "0-3,68-71,136-139,204-207"
+
+// PinRanks assigns each of ranks a contiguous block of threadsPerRank
+// logical CPUs from [0, logicalCPUs), skipping the excluded ones — Intel
+// MPI's default "bunch" domain layout under an exclude list.
+func PinRanks(logicalCPUs, ranks, threadsPerRank int, exclude []int) ([][]int, error) {
+	if logicalCPUs < 1 || ranks < 1 || threadsPerRank < 1 {
+		return nil, fmt.Errorf("%w: %d cpus, %d ranks x %d threads", ErrBadList, logicalCPUs, ranks, threadsPerRank)
+	}
+	ex := make(map[int]bool, len(exclude))
+	for _, c := range exclude {
+		ex[c] = true
+	}
+	var avail []int
+	for c := 0; c < logicalCPUs; c++ {
+		if !ex[c] {
+			avail = append(avail, c)
+		}
+	}
+	need := ranks * threadsPerRank
+	if need > len(avail) {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrPinNoRoom, need, len(avail))
+	}
+	out := make([][]int, ranks)
+	for r := 0; r < ranks; r++ {
+		out[r] = avail[r*threadsPerRank : (r+1)*threadsPerRank]
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseProcessorList(t *testing.T) {
+	got, err := ParseProcessorList("0-3,68-71,200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 68, 69, 70, 71, 200}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Empty list is no exclusion.
+	if got, err := ParseProcessorList(""); err != nil || got != nil {
+		t.Fatalf("empty list: %v %v", got, err)
+	}
+	// Duplicates collapse.
+	got, _ = ParseProcessorList("5,5,4-6")
+	if len(got) != 3 {
+		t.Fatalf("dedup failed: %v", got)
+	}
+	for _, bad := range []string{"a", "3-1", "-1", "1,,2", "1-"} {
+		if _, err := ParseProcessorList(bad); !errors.Is(err, ErrBadList) {
+			t.Fatalf("%q: err = %v", bad, err)
+		}
+	}
+}
+
+func TestOFPExcludeListMatchesAppendix(t *testing.T) {
+	ex, err := ParseProcessorList(OFPExcludeList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != 16 {
+		t.Fatalf("exclude list covers %d logical CPUs, want 16 (4 cores x 4 SMT)", len(ex))
+	}
+	// On KNL numbering (logical = core + 68*thread), the excluded logical
+	// CPUs are exactly the 4 hardware threads of physical cores 0-3.
+	for _, c := range ex {
+		if c%68 > 3 {
+			t.Fatalf("logical CPU %d is not a thread of cores 0-3", c)
+		}
+	}
+}
+
+func TestPinRanksExcludesSystemCPUs(t *testing.T) {
+	ex, _ := ParseProcessorList(OFPExcludeList)
+	// The paper's GeoFEM geometry: 16 ranks x 8 threads on 272 logical CPUs.
+	pin, err := PinRanks(272, 16, 8, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pin) != 16 {
+		t.Fatalf("ranks = %d", len(pin))
+	}
+	exSet := map[int]bool{}
+	for _, c := range ex {
+		exSet[c] = true
+	}
+	used := map[int]bool{}
+	for r, block := range pin {
+		if len(block) != 8 {
+			t.Fatalf("rank %d block = %d CPUs", r, len(block))
+		}
+		for _, c := range block {
+			if exSet[c] {
+				t.Fatalf("rank %d pinned to excluded CPU %d", r, c)
+			}
+			if used[c] {
+				t.Fatalf("CPU %d double-assigned", c)
+			}
+			used[c] = true
+			if c < 0 || c >= 272 {
+				t.Fatalf("CPU %d out of range", c)
+			}
+		}
+	}
+	// First rank starts at logical CPU 4 (0-3 excluded).
+	if pin[0][0] != 4 {
+		t.Fatalf("first pinned CPU = %d, want 4", pin[0][0])
+	}
+}
+
+func TestPinRanksValidation(t *testing.T) {
+	if _, err := PinRanks(0, 1, 1, nil); !errors.Is(err, ErrBadList) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := PinRanks(8, 4, 4, nil); !errors.Is(err, ErrPinNoRoom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Exclusion shrinking the pool below need.
+	ex := []int{0, 1, 2, 3}
+	if _, err := PinRanks(8, 2, 3, ex); !errors.Is(err, ErrPinNoRoom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: blocks never overlap, never touch excluded CPUs, and cover
+// exactly ranks*threads CPUs.
+func TestQuickPinRanks(t *testing.T) {
+	f := func(ranksRaw, threadsRaw, exRaw uint8) bool {
+		ranks := int(ranksRaw%8) + 1
+		threads := int(threadsRaw%8) + 1
+		var exclude []int
+		for c := 0; c < int(exRaw%32); c++ {
+			exclude = append(exclude, c)
+		}
+		pin, err := PinRanks(272, ranks, threads, exclude)
+		if err != nil {
+			return errors.Is(err, ErrPinNoRoom)
+		}
+		exSet := map[int]bool{}
+		for _, c := range exclude {
+			exSet[c] = true
+		}
+		used := map[int]bool{}
+		count := 0
+		for _, block := range pin {
+			for _, c := range block {
+				if exSet[c] || used[c] {
+					return false
+				}
+				used[c] = true
+				count++
+			}
+		}
+		return count == ranks*threads
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestAnalyticModelPaperExample checks the worked example of Sec. 2: an
+// application with N = 100,000 threads and S = 250 µs synchronization
+// interval is slowed ~20% by one noise group with L = 1 ms every 500 s.
+func TestAnalyticModelPaperExample(t *testing.T) {
+	m := AnalyticModel{Groups: []Group{
+		{Name: "paper", Length: time.Millisecond, Every: 500 * time.Second},
+	}}
+	d, name, err := m.Slowdown(250*time.Microsecond, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "paper" {
+		t.Fatalf("dominating group = %q", name)
+	}
+	if d < 0.15 || d > 0.25 {
+		t.Fatalf("slowdown = %v, paper says ~20%%", d)
+	}
+}
+
+func TestHitProbabilityBounds(t *testing.T) {
+	p := HitProbability(250*time.Microsecond, 500*time.Second, 100000)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("probability out of (0,1): %v", p)
+	}
+	// S >= I saturates.
+	if HitProbability(time.Second, time.Second, 10) != 1 {
+		t.Fatal("S >= I must saturate at 1")
+	}
+	if HitProbability(2*time.Second, time.Second, 10) != 1 {
+		t.Fatal("S > I must saturate at 1")
+	}
+	// Degenerate inputs.
+	if HitProbability(0, time.Second, 10) != 0 ||
+		HitProbability(time.Second, 0, 10) != 0 ||
+		HitProbability(time.Second, time.Second, 0) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}
+
+func TestHitProbabilityMonotoneInThreads(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{1, 10, 100, 1000, 10000, 100000, 7630848} {
+		p := HitProbability(250*time.Microsecond, 500*time.Second, n)
+		if p < prev {
+			t.Fatalf("probability not monotone in N at %d", n)
+		}
+		prev = p
+	}
+}
+
+// TestFullScaleFugakuSaturation verifies the paper's observation: at
+// N = 7,630,848 threads, even noise once every 600 s has hit probability
+// close to 1 for S = 250 µs... the paper states this for its FWQ context;
+// here we verify the saturation property of the formula.
+func TestFullScaleFugakuSaturation(t *testing.T) {
+	p := HitProbability(250*time.Microsecond, 600*time.Second, 7630848)
+	if p < 0.95 {
+		t.Fatalf("full-scale hit probability = %v, paper says close to 1", p)
+	}
+}
+
+func TestHitProbabilityNumericalStability(t *testing.T) {
+	// Tiny S/I with enormous N must not underflow to 0 or overflow to NaN.
+	p := HitProbability(time.Microsecond, 10000*time.Hour, 100000000)
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		t.Fatalf("unstable probability: %v", p)
+	}
+	if p == 0 {
+		t.Fatal("underflow: probability must remain positive")
+	}
+}
+
+func TestSlowdownMaxAcrossGroups(t *testing.T) {
+	m := AnalyticModel{Groups: []Group{
+		{Name: "short-frequent", Length: 10 * time.Microsecond, Every: time.Millisecond},
+		{Name: "long-rare", Length: 20 * time.Millisecond, Every: 100 * time.Second},
+	}}
+	// At large N the long-rare group dominates (its hit probability
+	// saturates while its L/S is enormous) — the paper's core argument for
+	// why max noise length matters more than noise rate at scale.
+	d, name, err := m.Slowdown(time.Millisecond, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "long-rare" {
+		t.Fatalf("dominating group at scale = %q, want long-rare", name)
+	}
+	if d <= 0 {
+		t.Fatal("slowdown must be positive")
+	}
+	// At N=1 the frequent group dominates.
+	_, name1, _ := m.Slowdown(time.Millisecond, 1)
+	if name1 != "short-frequent" {
+		t.Fatalf("dominating group at N=1 = %q, want short-frequent", name1)
+	}
+}
+
+func TestSlowdownNoGroups(t *testing.T) {
+	var m AnalyticModel
+	if _, _, err := m.Slowdown(time.Millisecond, 10); err != ErrNoGroups {
+		t.Fatalf("err = %v, want ErrNoGroups", err)
+	}
+}
+
+func TestSlowdownZeroSyncInterval(t *testing.T) {
+	m := AnalyticModel{Groups: []Group{{Name: "g", Length: time.Millisecond, Every: time.Second}}}
+	d, _, err := m.Slowdown(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("slowdown with S=0 should be 0, got %v", d)
+	}
+}
+
+func TestCriticalInterval(t *testing.T) {
+	// For the paper's example parameters, the critical interval producing a
+	// 20% slowdown should be near 500 s.
+	ci := CriticalInterval(time.Millisecond, 250*time.Microsecond, 100000, 0.195)
+	if ci < 100*time.Second || ci > 2000*time.Second {
+		t.Fatalf("critical interval = %v, want ~500s", ci)
+	}
+	// Verify the returned interval indeed achieves the target.
+	d := SlowdownOf(Group{Length: time.Millisecond, Every: ci}, 250*time.Microsecond, 100000)
+	if d < 0.195*0.99 {
+		t.Fatalf("returned interval misses target: %v", d)
+	}
+	if CriticalInterval(time.Millisecond, 0, 10, 0.5) != 0 {
+		t.Fatal("S=0 must return 0")
+	}
+	if CriticalInterval(time.Millisecond, time.Second, 10, 0) != 0 {
+		t.Fatal("target=0 must return 0")
+	}
+	// An unachievable target (noise too short) returns the hi bound or less,
+	// but re-evaluation never reports a higher slowdown than the bound.
+	ciTiny := CriticalInterval(time.Nanosecond, time.Second, 2, 0.9)
+	if got := SlowdownOf(Group{Length: time.Nanosecond, Every: ciTiny}, time.Second, 2); got > 1 {
+		t.Fatalf("bisection produced slowdown %v > 1", got)
+	}
+}
+
+func TestCriticalIntervalAlwaysSatisfiedReturnsHi(t *testing.T) {
+	// A 10-hour noise every interval with tiny target: even the maximum
+	// interval satisfies the target, so hi is returned.
+	ci := CriticalInterval(10*time.Hour, time.Second, 1000000, 1e-12)
+	if ci != 1000*time.Hour {
+		t.Fatalf("want hi bound, got %v", ci)
+	}
+}

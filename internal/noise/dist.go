@@ -1,0 +1,103 @@
+package noise
+
+import (
+	"sort"
+	"time"
+
+	"mkos/internal/stats"
+)
+
+// IterationDist is a compressed distribution of FWQ iteration times: the
+// overwhelming majority of iterations are exactly the work quantum (no noise
+// touched them), so only the perturbed ones are stored explicitly. This is
+// what makes machine-scale noise profiles (Figure 4's 158,976-node sweep)
+// tractable: memory scales with noise events, not with iterations.
+type IterationDist struct {
+	Work      time.Duration
+	Clean     int64
+	perturbed []float64 // microseconds, sorted
+}
+
+// NewIterationDist builds a distribution from a clean count and the
+// perturbed iteration durations.
+func NewIterationDist(work time.Duration, clean int64, perturbed []time.Duration) *IterationDist {
+	d := &IterationDist{Work: work, Clean: clean}
+	d.perturbed = make([]float64, len(perturbed))
+	for i, p := range perturbed {
+		d.perturbed[i] = float64(p) / float64(time.Microsecond)
+	}
+	sort.Float64s(d.perturbed)
+	return d
+}
+
+// Merge combines several distributions with the same work quantum.
+func MergeDists(ds []*IterationDist) *IterationDist {
+	if len(ds) == 0 {
+		return &IterationDist{}
+	}
+	out := &IterationDist{Work: ds[0].Work}
+	for _, d := range ds {
+		out.Clean += d.Clean
+		out.perturbed = append(out.perturbed, d.perturbed...)
+	}
+	sort.Float64s(out.perturbed)
+	return out
+}
+
+// N returns the total number of iterations.
+func (d *IterationDist) N() int64 { return d.Clean + int64(len(d.perturbed)) }
+
+// Max returns the largest iteration time in microseconds.
+func (d *IterationDist) Max() float64 {
+	if len(d.perturbed) > 0 {
+		return d.perturbed[len(d.perturbed)-1]
+	}
+	if d.Clean > 0 {
+		return float64(d.Work) / float64(time.Microsecond)
+	}
+	return 0
+}
+
+// At returns P(iteration <= us).
+func (d *IterationDist) At(us float64) float64 {
+	n := d.N()
+	if n == 0 {
+		return 0
+	}
+	var count int64
+	if us >= float64(d.Work)/float64(time.Microsecond) {
+		count += d.Clean
+	}
+	idx := sort.SearchFloat64s(d.perturbed, us)
+	// Include equal values.
+	for idx < len(d.perturbed) && d.perturbed[idx] <= us {
+		idx++
+	}
+	count += int64(idx)
+	return float64(count) / float64(n)
+}
+
+// Points returns n evenly spaced CDF points spanning [Work, Max], the
+// Figure 4 plotting range.
+func (d *IterationDist) Points(n int) []stats.Point {
+	if d.N() == 0 || n < 2 {
+		return nil
+	}
+	lo := float64(d.Work) / float64(time.Microsecond)
+	hi := d.Max()
+	if hi <= lo {
+		hi = lo + 1
+	}
+	pts := make([]stats.Point, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = stats.Point{X: x, Y: d.At(x)}
+	}
+	return pts
+}
+
+// TailProbability returns P(iteration > us), the tail the paper's CDF plots
+// emphasize.
+func (d *IterationDist) TailProbability(us float64) float64 {
+	return 1 - d.At(us)
+}

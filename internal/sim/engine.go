@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events fire in (At, seq) order: ties on the
+// clock are broken by scheduling order, which keeps the simulation
+// deterministic regardless of heap internals.
+type Event struct {
+	At   Time
+	Fn   func(e *Engine)
+	Name string // optional label, used in traces and error messages
+
+	seq   uint64
+	index int  // heap index; -1 once popped or cancelled
+	dead  bool // set by Cancel
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (ev *Event) Cancelled() bool { return ev.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; model-level parallelism is expressed as interleaved events,
+// not goroutines, so results stay deterministic.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with its clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated instant.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPastEvent is returned by ScheduleAt when the requested instant precedes
+// the current clock.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// ScheduleAt enqueues fn to run at instant at. It panics if at precedes the
+// current clock, because silently reordering the past would corrupt a model.
+func (e *Engine) ScheduleAt(at Time, name string, fn func(*Engine)) *Event {
+	if at < e.now {
+		panic(fmt.Errorf("%w: now=%v at=%v (%s)", ErrPastEvent, e.now, at, name))
+	}
+	e.seq++
+	ev := &Event{At: at, Fn: fn, Name: name, seq: e.seq}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Schedule enqueues fn to run after delay d.
+func (e *Engine) Schedule(d Duration, name string, fn func(*Engine)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), name, fn)
+}
+
+// Cancel removes a pending event; it is a no-op if the event already fired.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	ev.dead = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step executes the single earliest pending event and advances the clock to
+// it. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.fired++
+	if ev.Fn != nil {
+		ev.Fn(e)
+	}
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with At <= deadline and then sets the clock to the
+// deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].At > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current instant.
+func (e *Engine) RunFor(d Duration) {
+	e.RunUntil(e.now.Add(d))
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Every schedules fn at t0 and then every period thereafter until the
+// returned Ticker is stopped. Periodic activity — timer ticks, daemon
+// wake-ups, monitoring — is the backbone of the OS noise models.
+func (e *Engine) Every(t0 Time, period Duration, name string, fn func(*Engine)) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v for ticker %q", period, name))
+	}
+	tk := &Ticker{engine: e, period: period, name: name, fn: fn}
+	tk.arm(t0)
+	return tk
+}
+
+// Ticker repeatedly fires a callback at a fixed period.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	name    string
+	fn      func(*Engine)
+	next    *Event
+	stopped bool
+}
+
+func (t *Ticker) arm(at Time) {
+	t.next = t.engine.ScheduleAt(at, t.name, func(e *Engine) {
+		if t.stopped {
+			return
+		}
+		t.fn(e)
+		if !t.stopped {
+			t.arm(e.Now().Add(t.period))
+		}
+	})
+}
+
+// Stop cancels future firings. A callback already running completes.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.engine.Cancel(t.next)
+}
+
+// Period returns the ticker's firing period.
+func (t *Ticker) Period() Duration { return t.period }

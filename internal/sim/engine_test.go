@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(30*Nanosecond, "c", func(*Engine) { order = append(order, "c") })
+	e.Schedule(10*Nanosecond, "a", func(*Engine) { order = append(order, "a") })
+	e.Schedule(20*Nanosecond, "b", func(*Engine) { order = append(order, "b") })
+	e.Run()
+	want := "abc"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("event order = %q, want %q", got, want)
+	}
+	if e.Now() != Time(30) {
+		t.Fatalf("clock = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.ScheduleAt(Time(5), "tie", func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEngineScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100*Nanosecond, "later", func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling into the past")
+		}
+	}()
+	e.ScheduleAt(Time(50), "past", func(*Engine) {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10*Nanosecond, "x", func(*Engine) { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Cancelling twice or cancelling nil must be a safe no-op.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.ScheduleAt(at, "t", func(en *Engine) { fired = append(fired, en.Now()) })
+	}
+	e.RunUntil(Time(12))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != Time(12) {
+		t.Fatalf("clock = %v, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events after Run, want 4", len(fired))
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(time.Second)
+	if e.Now() != Time(Second) {
+		t.Fatalf("clock = %v, want 1s", e.Now())
+	}
+	e.RunFor(time.Second)
+	if e.Now() != Time(2*Second) {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, "one", func(en *Engine) { count++; en.Stop() })
+	e.Schedule(2, "two", func(*Engine) { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop should halt the loop)", count)
+	}
+	e.Run() // resuming runs the rest
+	if count != 2 {
+		t.Fatalf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var fires []Time
+	tk := e.Every(Time(0), 10*Nanosecond, "tick", func(en *Engine) {
+		fires = append(fires, en.Now())
+	})
+	e.RunUntil(Time(35))
+	if len(fires) != 4 { // 0, 10, 20, 30
+		t.Fatalf("ticker fired %d times, want 4: %v", len(fires), fires)
+	}
+	tk.Stop()
+	e.RunUntil(Time(100))
+	if len(fires) != 4 {
+		t.Fatalf("ticker fired after Stop: %v", fires)
+	}
+	if tk.Period() != 10*Nanosecond {
+		t.Fatalf("Period = %v", tk.Period())
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(Time(0), 5*Nanosecond, "tick", func(*Engine) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero period")
+		}
+	}()
+	e.Every(Time(0), 0, "bad", func(*Engine) {})
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Duration(i), "n", func(*Engine) {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func(en *Engine)
+	recurse = func(en *Engine) {
+		depth++
+		if depth < 50 {
+			en.Schedule(Nanosecond, "r", recurse)
+		}
+	}
+	e.Schedule(0, "r", recurse)
+	e.Run()
+	if depth != 50 {
+		t.Fatalf("depth = %d, want 50", depth)
+	}
+	if e.Now() != Time(49) {
+		t.Fatalf("clock = %v, want 49ns", e.Now())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1000)
+	t1 := t0.Add(500 * Nanosecond)
+	if t1 != Time(1500) {
+		t.Fatalf("Add: %v", t1)
+	}
+	if d := t1.Sub(t0); d != 500*Nanosecond {
+		t.Fatalf("Sub: %v", d)
+	}
+	if !t0.Before(t1) || t0.After(t1) {
+		t.Fatal("Before/After inconsistent")
+	}
+	if s := Time(2_500_000_000).Seconds(); s != 2.5 {
+		t.Fatalf("Seconds: %v", s)
+	}
+	if us := Time(1500).Micros(); us != 1.5 {
+		t.Fatalf("Micros: %v", us)
+	}
+	if Time(1500).String() == "" {
+		t.Fatal("empty String()")
+	}
+}

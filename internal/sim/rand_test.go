@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandDeriveStability(t *testing.T) {
+	// Deriving stream k must not depend on how many other streams were
+	// derived before it from sibling parents with identical state.
+	mk := func() []float64 {
+		r := NewRand(7).Derive(12345)
+		out := make([]float64, 8)
+		for i := range out {
+			out[i] = r.Float64()
+		}
+		return out
+	}
+	x, y := mk(), mk()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("derived stream not reproducible at %d", i)
+		}
+	}
+}
+
+func TestRandDeriveIndependence(t *testing.T) {
+	parent := NewRand(1)
+	a := parent.Derive(0)
+	b := parent.Derive(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent derived streams look correlated: %d equal draws", same)
+	}
+}
+
+func TestRandDeriveNamed(t *testing.T) {
+	a := NewRand(5).DeriveNamed("daemon")
+	b := NewRand(5).DeriveNamed("daemon")
+	c := NewRand(5).DeriveNamed("kworker")
+	if a.Float64() != b.Float64() {
+		t.Fatal("same-name derivation not reproducible")
+	}
+	if a.Float64() == c.Float64() {
+		t.Fatal("different names produced identical streams")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(99)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ~5.0", mean)
+	}
+}
+
+func TestLogNormalMeanCV(t *testing.T) {
+	r := NewRand(123)
+	const n = 400000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.LogNormalMeanCV(10.0, 0.5)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	cv := math.Sqrt(variance) / mean
+	if math.Abs(mean-10.0) > 0.2 {
+		t.Fatalf("LogNormalMeanCV mean = %v, want ~10", mean)
+	}
+	if math.Abs(cv-0.5) > 0.05 {
+		t.Fatalf("LogNormalMeanCV cv = %v, want ~0.5", cv)
+	}
+}
+
+func TestLogNormalMeanCVDegenerate(t *testing.T) {
+	r := NewRand(4)
+	if v := r.LogNormalMeanCV(0, 0.5); v != 0 {
+		t.Fatalf("mean<=0 should return 0, got %v", v)
+	}
+	if v := r.LogNormalMeanCV(3, 0); v != 3 {
+		t.Fatalf("cv<=0 should return mean, got %v", v)
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2.0, 1.5); v < 2.0 {
+			t.Fatalf("Pareto sample %v below xm", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRand(8)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewRand(17)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	f := float64(hits) / n
+	if math.Abs(f-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", f)
+	}
+}
+
+func TestDurationSamplers(t *testing.T) {
+	r := NewRand(23)
+	for i := 0; i < 1000; i++ {
+		if d := r.DurationExp(time.Millisecond); d < 0 {
+			t.Fatalf("negative DurationExp %v", d)
+		}
+		if d := r.DurationUniform(time.Microsecond, time.Millisecond); d < time.Microsecond || d >= time.Millisecond {
+			t.Fatalf("DurationUniform out of range: %v", d)
+		}
+		if d := r.DurationLogNormal(time.Millisecond, 0.3); d <= 0 {
+			t.Fatalf("non-positive DurationLogNormal %v", d)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRand(31)
+	base := 100 * time.Microsecond
+	for i := 0; i < 10000; i++ {
+		d := r.Jitter(base, 0.1)
+		if d < 90*time.Microsecond || d > 110*time.Microsecond {
+			t.Fatalf("Jitter out of bounds: %v", d)
+		}
+	}
+}
+
+// Property: derived streams are a pure function of (seed, stream id).
+func TestQuickDeriveDeterministic(t *testing.T) {
+	f := func(seed int64, stream int64) bool {
+		a := NewRand(seed).Derive(stream).Float64()
+		b := NewRand(seed).Derive(stream).Float64()
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pareto samples never fall below xm for any positive parameters.
+func TestQuickParetoBound(t *testing.T) {
+	r := NewRand(77)
+	f := func(xmRaw, alphaRaw uint16) bool {
+		xm := 0.001 + float64(xmRaw)
+		alpha := 0.5 + float64(alphaRaw%100)/10
+		return r.Pareto(xm, alpha) >= xm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

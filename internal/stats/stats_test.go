@@ -1,0 +1,341 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 || s.Sum != 40 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	// Sample stddev of that classic set is sqrt(32/7).
+	if !almostEqual(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stddev != 0 || s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("bad single summary: %+v", s)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Mean(xs) != 2.4 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty-slice helpers should return 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatal("want ErrEmpty")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	got, err := Percentile([]float64{10, 20}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("interpolated median = %v, want 15", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if c.At(0.5) != 0 {
+		t.Fatalf("At(0.5) = %v", c.At(0.5))
+	}
+	if c.At(2) != 0.5 {
+		t.Fatalf("At(2) = %v", c.At(2))
+	}
+	if c.At(4) != 1 || c.At(100) != 1 {
+		t.Fatal("upper tail wrong")
+	}
+	if c.Max() != 4 {
+		t.Fatalf("Max = %v", c.Max())
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if q := c.Quantile(0.2); q != 10 {
+		t.Fatalf("Q(0.2) = %v", q)
+	}
+	if q := c.Quantile(0.5); q != 30 {
+		t.Fatalf("Q(0.5) = %v", q)
+	}
+	if q := c.Quantile(1.0); q != 50 {
+		t.Fatalf("Q(1.0) = %v", q)
+	}
+	if q := c.Quantile(0); q != 10 {
+		t.Fatalf("Q(0) = %v", q)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[10].X != 10 {
+		t.Fatalf("endpoints wrong: %+v %+v", pts[0], pts[10])
+	}
+	if pts[10].Y != 1 {
+		t.Fatalf("last Y = %v", pts[10].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatal("CDF points not monotone")
+		}
+	}
+	if NewCDF(nil).Points(5) != nil {
+		t.Fatal("empty CDF should yield nil points")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Fatalf("outliers = %d/%d", under, over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Fatalf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Fatalf("bin4 = %d", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.BinCenter(0) != 1 {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramDegenerateArgs(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // hi<=lo and bins<=0 must be repaired
+	h.Add(5)
+	if h.Total() != 1 {
+		t.Fatal("degenerate histogram unusable")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(0, 1)
+	s.Append(1, 5)
+	s.Append(2, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.MaxV() != 5 {
+		t.Fatalf("MaxV = %v", s.MaxV())
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(0, 0) != 0 {
+		t.Fatal("RelativeError(0,0) != 0")
+	}
+	if !almostEqual(RelativeError(90, 100), 0.1, 1e-12) {
+		t.Fatalf("RelativeError(90,100) = %v", RelativeError(90, 100))
+	}
+	if RelativeError(-5, 5) != 2 {
+		t.Fatalf("RelativeError(-5,5) = %v", RelativeError(-5, 5))
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if g := GeometricMean([]float64{1, 4, 16}); !almostEqual(g, 4, 1e-12) {
+		t.Fatalf("GeometricMean = %v", g)
+	}
+	if GeometricMean([]float64{1, 0}) != 0 {
+		t.Fatal("zero entry should return 0")
+	}
+	if GeometricMean(nil) != 0 {
+		t.Fatal("empty should return 0")
+	}
+}
+
+// Property: CDF.At is monotone non-decreasing and bounded in [0,1].
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64, probesRaw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		probes := append([]float64(nil), probesRaw...)
+		for i, p := range probes {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				probes[i] = 0
+			}
+		}
+		sort.Float64s(probes)
+		prev := 0.0
+		for _, p := range probes {
+			y := c.At(p)
+			if y < prev || y < 0 || y > 1 {
+				return false
+			}
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile(xs, p) lies within [Min(xs), Max(xs)].
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw) / 255 * 100
+		got, err := Percentile(xs, p)
+		if err != nil {
+			return false
+		}
+		return got >= Min(xs)-1e-9 && got <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile-then-CDF round trip: At(Quantile(q)) >= q.
+func TestQuickQuantileRoundTrip(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qRaw%100+1) / 100
+		c := NewCDF(xs)
+		return c.At(c.Quantile(q)) >= q-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawFitExact(t *testing.T) {
+	// y = 3 * x^0.5 exactly.
+	xs := []float64{1, 4, 16, 64, 256}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Sqrt(x)
+	}
+	a, b, err := PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 3, 1e-9) || !almostEqual(b, 0.5, 1e-9) {
+		t.Fatalf("fit = %v * x^%v, want 3 * x^0.5", a, b)
+	}
+}
+
+func TestPowerLawFitErrors(t *testing.T) {
+	if _, _, err := PowerLawFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := PowerLawFit([]float64{1}, []float64{1}); err != ErrEmpty {
+		t.Fatal("single point accepted")
+	}
+	if _, _, err := PowerLawFit([]float64{1, -2}, []float64{1, 1}); err == nil {
+		t.Fatal("negative sample accepted")
+	}
+	if _, _, err := PowerLawFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestPowerLawFitTofuScaling(t *testing.T) {
+	// The TofuD hop approximation grows as n^(1/6): the fit must recover an
+	// exponent near 1/6 from sampled hop counts.
+	xs := []float64{64, 512, 4096, 32768, 158976}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1.5 * math.Pow(x, 1.0/6.0)
+	}
+	_, b, err := PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-1.0/6.0) > 0.01 {
+		t.Fatalf("exponent = %v, want ~1/6", b)
+	}
+}
