@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build vet test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs: vet, build, then the full suite under the race
+# detector.
+check: vet build race

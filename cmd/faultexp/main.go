@@ -1,0 +1,141 @@
+// Command faultexp sweeps fault-injection intensity over a batch of jobs and
+// prints degradation curves for Linux vs IHK/McKernel: completion counts,
+// retries, Linux fallbacks, detection latency and wasted node-seconds as the
+// failure rates grow. It exercises the operational side of Sec. 5 — LWK
+// panics, hangs, fatal OOM (no demand paging), IKC message loss and prologue
+// reservation failures — together with the recovery policy (capped-backoff
+// retry, node blacklisting, graceful degradation to native Linux).
+//
+// The experiment is fully deterministic: the same seed produces the same
+// fault schedule and a byte-identical failure report.
+//
+// Usage:
+//
+//	faultexp [-platform fugaku|ofp] [-jobs 6] [-nodes 8] [-seed 42] [-report]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mkos/internal/bsp"
+	"mkos/internal/cluster"
+	"mkos/internal/fault"
+)
+
+// baseRates is the 1x point of the sweep. The per-hour hazards are sized so
+// that a ~quarter-second job on 8 nodes sees a realistic mix of clean runs,
+// single faults and repeated faults as intensity grows.
+func baseRates() fault.Rates {
+	return fault.Rates{
+		NodeCrashPerHour:   500,
+		LWKPanicPerHour:    2000,
+		LWKHangPerHour:     1000,
+		IHKReserveFailProb: 0.02,
+		IKCTimeoutProb:     0.03,
+		LWKOOMProb:         0.03,
+	}
+}
+
+func scaled(r fault.Rates, k float64) fault.Rates {
+	prob := func(p float64) float64 {
+		p *= k
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return fault.Rates{
+		NodeCrashPerHour:   r.NodeCrashPerHour * k,
+		LWKPanicPerHour:    r.LWKPanicPerHour * k,
+		LWKHangPerHour:     r.LWKHangPerHour * k,
+		IHKReserveFailProb: prob(r.IHKReserveFailProb),
+		IKCTimeoutProb:     prob(r.IKCTimeoutProb),
+		LWKOOMProb:         prob(r.LWKOOMProb),
+	}
+}
+
+func workload(nodes int) bsp.Workload {
+	return bsp.Workload{
+		Name: "faultexp", Scaling: bsp.StrongScaling, RefNodes: nodes,
+		Steps: 50, StepCompute: 5 * time.Millisecond,
+		WorkingSetPerRank: 64 << 20, MemAccessPeriod: 100 * time.Nanosecond,
+	}
+}
+
+// runPoint executes one sweep point: a batch of jobs under one OS with
+// recovery enabled, returning the scheduler for its report and job lists.
+func runPoint(p *cluster.Platform, os cluster.OSKind, rates fault.Rates, jobs, nodes int, seed int64) *cluster.ResilientScheduler {
+	rs, err := cluster.NewResilientScheduler(p, fault.NewInjector(rates, seed), cluster.DefaultRecoveryPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := bsp.Geometry{RanksPerNode: 4, ThreadsPerRank: 12}
+	if p.Name == "oakforest-pacs" {
+		g = bsp.Geometry{RanksPerNode: 4, ThreadsPerRank: 16}
+	}
+	w := workload(nodes)
+	for j := 0; j < jobs; j++ {
+		// Per-job seeds derive from the experiment seed; terminal failures
+		// are part of the measurement, not an error of the experiment.
+		_, _ = rs.Submit(w, g, nodes, os, seed*1000+int64(j))
+	}
+	return rs
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultexp: ")
+	platform := flag.String("platform", "fugaku", "platform: fugaku or ofp")
+	jobs := flag.Int("jobs", 6, "jobs per sweep point")
+	nodes := flag.Int("nodes", 8, "nodes per job")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	report := flag.Bool("report", true, "print the full failure report of the heaviest McKernel point")
+	flag.Parse()
+
+	var p *cluster.Platform
+	switch *platform {
+	case "fugaku":
+		p = cluster.Fugaku()
+	case "ofp":
+		p = cluster.OFP()
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+
+	intensities := []float64{0, 0.5, 1, 2, 4}
+	fmt.Printf("fault-injection sweep: %s, %d jobs/point x %d nodes, seed %d\n",
+		p.Name, *jobs, *nodes, *seed)
+	fmt.Printf("policy: %+v\n\n", cluster.DefaultRecoveryPolicy())
+
+	fmt.Printf("%-9s | %-42s | %-30s\n", "intensity", "mckernel", "linux")
+	fmt.Printf("%-9s | %4s %4s %4s %5s %8s %9s | %4s %4s %5s %8s\n",
+		"(x base)", "done", "fb", "fail", "retry", "detect", "waste", "done", "fail", "retry", "waste")
+	var heaviest *cluster.ResilientScheduler
+	for _, k := range intensities {
+		rates := scaled(baseRates(), k)
+		mck := runPoint(p, cluster.McKernel, rates, *jobs, *nodes, *seed)
+		lin := runPoint(p, cluster.Linux, rates, *jobs, *nodes, *seed)
+		mr, lr := mck.Report, lin.Report
+		fmt.Printf("%-9.2g | %4d %4d %4d %5d %7.2fs %8.1fs | %4d %4d %5d %7.1fs\n",
+			k,
+			mr.Completed, mr.Fallbacks, mr.Failed, mr.Retries,
+			mr.MeanDetectionLatency().Seconds(), mr.WastedNodeSeconds,
+			lr.Completed, lr.Failed, lr.Retries, lr.WastedNodeSeconds)
+		heaviest = mck
+	}
+
+	fmt.Println()
+	fmt.Println("columns: done = jobs completed, fb = completed only after graceful")
+	fmt.Println("degradation to native Linux, fail = terminal failures, retry = re-run")
+	fmt.Println("attempts, detect = mean failure-detection latency, waste = node-seconds")
+	fmt.Println("burned in failed attempts (detected at the watchdog, not at job end).")
+
+	if *report && heaviest != nil {
+		fmt.Println()
+		fmt.Printf("failure report, heaviest McKernel point (%gx base rates):\n", intensities[len(intensities)-1])
+		fmt.Print(heaviest.Report.String())
+	}
+}

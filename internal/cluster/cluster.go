@@ -131,6 +131,14 @@ func (p *Platform) NewNode(kind OSKind) (*Node, error) {
 // NewNodeAt boots the node at a specific index, honoring heterogeneous
 // populations (TopologyAt).
 func (p *Platform) NewNodeAt(idx int, kind OSKind) (*Node, error) {
+	return p.NewNodeAtWithHooks(idx, kind, ihk.Hooks{})
+}
+
+// NewNodeAtWithHooks boots a node with fallible IHK operations: the hooks
+// run before each reserve/boot step, exactly where a production prologue
+// script can fail (Sec. 5.1). The fault injector uses this to model IHK
+// reservation failures; an empty Hooks value is the normal path.
+func (p *Platform) NewNodeAtWithHooks(idx int, kind OSKind, hooks ihk.Hooks) (*Node, error) {
 	topo := p.NewTopology
 	if p.TopologyAt != nil {
 		topoAt := p.TopologyAt
@@ -145,6 +153,7 @@ func (p *Platform) NewNodeAt(idx int, kind OSKind) (*Node, error) {
 		return node, nil
 	}
 	mgr := ihk.NewManager(host)
+	mgr.Hooks = hooks
 	if err := mgr.ReserveCPUs(host.Topo.AppCores()); err != nil {
 		return nil, fmt.Errorf("cluster: reserving cores: %w", err)
 	}

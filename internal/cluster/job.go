@@ -69,8 +69,16 @@ type Job struct {
 	Result bsp.Result
 	Err    error
 	// Overhead is scheduler-side time: prologue/epilogue LWK boot for
-	// script-based integration, near zero under TCS integration.
+	// script-based integration, near zero under TCS integration. Under
+	// fault injection every re-run prologue adds here.
 	Overhead time.Duration
+
+	// Attempts counts executions including the first (set by the resilient
+	// submission path; plain Submit leaves it at 1 semantics implicitly).
+	Attempts int
+	// FellBack reports the graceful-degradation path: the job's LWK failed
+	// and it was re-run on native Linux with the slower noise profile.
+	FellBack bool
 }
 
 // JobScheduler models the platform batch system with multi-kernel support.
@@ -80,6 +88,7 @@ type JobScheduler struct {
 
 	nextID    int
 	completed []*Job
+	failed    []*Job
 }
 
 // Boot-script costs for the prologue/epilogue path: reserving resources,
@@ -105,6 +114,15 @@ var (
 	ErrJobGeometry  = errors.New("cluster: job geometry does not fit the node")
 )
 
+// fail lands a job in the failed list with its terminal error; every path
+// that produces JobFailed must come through here so Failed() sees it.
+func (js *JobScheduler) fail(job *Job, err error) error {
+	job.State = JobFailed
+	job.Err = err
+	js.failed = append(js.failed, job)
+	return err
+}
+
 // Submit validates, runs and completes a job synchronously (the simulation
 // has no queueing delay model; the paper's measurements also ran on
 // dedicated reservations).
@@ -112,24 +130,18 @@ func (js *JobScheduler) Submit(w bsp.Workload, g bsp.Geometry, nodes int, os OSK
 	js.nextID++
 	job := &Job{
 		ID: js.nextID, Workload: w, Geometry: g, Nodes: nodes, OS: os,
-		StopPMUReads: true, Seed: seed, State: JobQueued,
+		StopPMUReads: true, Seed: seed, State: JobQueued, Attempts: 1,
 	}
 	if nodes < 1 || nodes > js.Platform.MaxNodes {
-		job.State = JobFailed
-		job.Err = fmt.Errorf("%w: %d > %d", ErrTooManyNodes, nodes, js.Platform.MaxNodes)
-		return job, job.Err
+		return job, js.fail(job, fmt.Errorf("%w: %d > %d", ErrTooManyNodes, nodes, js.Platform.MaxNodes))
 	}
 	if err := js.Platform.Validate(g); err != nil {
-		job.State = JobFailed
-		job.Err = fmt.Errorf("%w: %v", ErrJobGeometry, err)
-		return job, job.Err
+		return job, js.fail(job, fmt.Errorf("%w: %v", ErrJobGeometry, err))
 	}
 
 	machine, _, err := js.Platform.Machine(os, g)
 	if err != nil {
-		job.State = JobFailed
-		job.Err = err
-		return job, err
+		return job, js.fail(job, err)
 	}
 
 	if os == McKernel && js.Integration == PrologueEpilogue {
@@ -139,9 +151,7 @@ func (js *JobScheduler) Submit(w bsp.Workload, g bsp.Geometry, nodes int, os OSK
 	job.State = JobRunning
 	res, err := bsp.Run(w, machine, nodes, seed)
 	if err != nil {
-		job.State = JobFailed
-		job.Err = err
-		return job, err
+		return job, js.fail(job, err)
 	}
 	job.Result = res
 	job.State = JobCompleted
@@ -155,12 +165,10 @@ func (js *JobScheduler) SubmitWithPMUReads(w bsp.Workload, g bsp.Geometry, nodes
 	js.nextID++
 	job := &Job{
 		ID: js.nextID, Workload: w, Geometry: g, Nodes: nodes, OS: os,
-		StopPMUReads: false, Seed: seed, State: JobQueued,
+		StopPMUReads: false, Seed: seed, State: JobQueued, Attempts: 1,
 	}
 	if err := js.Platform.Validate(g); err != nil {
-		job.State = JobFailed
-		job.Err = err
-		return job, err
+		return job, js.fail(job, err)
 	}
 	clone := *js.Platform
 	tune := clone.Tuning
@@ -168,16 +176,12 @@ func (js *JobScheduler) SubmitWithPMUReads(w bsp.Workload, g bsp.Geometry, nodes
 	clone.Tuning = tune
 	machine, _, err := clone.Machine(os, g)
 	if err != nil {
-		job.State = JobFailed
-		job.Err = err
-		return job, err
+		return job, js.fail(job, err)
 	}
 	job.State = JobRunning
 	res, err := bsp.Run(w, machine, nodes, seed)
 	if err != nil {
-		job.State = JobFailed
-		job.Err = err
-		return job, err
+		return job, js.fail(job, err)
 	}
 	job.Result = res
 	job.State = JobCompleted
@@ -187,3 +191,8 @@ func (js *JobScheduler) SubmitWithPMUReads(w bsp.Workload, g bsp.Geometry, nodes
 
 // Completed returns finished jobs in completion order.
 func (js *JobScheduler) Completed() []*Job { return js.completed }
+
+// Failed returns terminally failed jobs in failure order: submissions the
+// validator rejected plus jobs whose retry budget the recovery machinery
+// exhausted.
+func (js *JobScheduler) Failed() []*Job { return js.failed }

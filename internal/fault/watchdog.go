@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"mkos/internal/sim"
+)
+
+// Watchdog models the cluster monitor's liveness detection: every node (the
+// TCS agent on Fugaku, the batch health checker on OFP) heartbeats every
+// Interval; the monitor declares a node dead when it has been silent for
+// Timeout. Fail-stop faults are cheaper to detect — the dying node's console
+// panic or closed connection is noticed at the monitor's next sweep — while
+// fail-silent faults (hangs, lost IKC messages) are only uncovered when the
+// watchdog expires.
+type Watchdog struct {
+	Interval time.Duration // heartbeat period
+	Timeout  time.Duration // silence before a node is declared dead
+}
+
+// DefaultWatchdog returns production-flavored parameters: 1 s heartbeats,
+// 5 s silence threshold.
+func DefaultWatchdog() Watchdog {
+	return Watchdog{Interval: time.Second, Timeout: 5 * time.Second}
+}
+
+// Validate rejects configurations that cannot work: the timeout must exceed
+// the heartbeat interval or every healthy node would be declared dead between
+// two beats.
+func (w Watchdog) Validate() error {
+	if w.Interval <= 0 {
+		return fmt.Errorf("fault: watchdog interval %v", w.Interval)
+	}
+	if w.Timeout <= w.Interval {
+		return fmt.Errorf("fault: watchdog timeout %v must exceed interval %v", w.Timeout, w.Interval)
+	}
+	return nil
+}
+
+// DetectionTime returns when the monitor learns about a fault striking at
+// faultAt (offset from the attempt's run start). Fail-stop faults surface at
+// the next heartbeat sweep; fail-silent faults when the watchdog expires,
+// Timeout after the victim's last heartbeat.
+func (w Watchdog) DetectionTime(k Kind, faultAt sim.Duration) sim.Duration {
+	beats := faultAt / w.Interval
+	if k.FailStop() {
+		// Next sweep strictly after the fault.
+		return (beats + 1) * w.Interval
+	}
+	// Last heartbeat the victim managed to send, then silence.
+	return beats*w.Interval + w.Timeout
+}
+
+// DetectionLatency is the gap between a fault striking and the monitor
+// noticing — the window during which every node of the job burns time for
+// nothing (the "wasted node-seconds" of the report).
+func (w Watchdog) DetectionLatency(k Kind, faultAt sim.Duration) sim.Duration {
+	return w.DetectionTime(k, faultAt) - faultAt
+}

@@ -1,0 +1,117 @@
+package ihk
+
+import (
+	"errors"
+	"testing"
+)
+
+// Error-path coverage for the Manager lifecycle: the operational failures of
+// Sec. 5.1 all surface through these paths, so they must fail loudly and
+// leave the manager consistent.
+
+func bootedManager(t *testing.T) *Manager {
+	t.Helper()
+	m := NewManager(newHost(t))
+	if err := m.ReserveCPUs(m.Host.Topo.AppCores()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReserveMemory(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDoubleBootRejected(t *testing.T) {
+	m := bootedManager(t)
+	if _, err := m.Boot(); !errors.Is(err, ErrAlreadyBooted) {
+		t.Fatalf("double boot err = %v, want ErrAlreadyBooted", err)
+	}
+}
+
+func TestReleaseUnreservedCores(t *testing.T) {
+	m := NewManager(newHost(t))
+	app := m.Host.Topo.AppCores()
+	if err := m.ReleaseCPUs(app[:2]); !errors.Is(err, ErrNotReserved) {
+		t.Fatalf("release of unreserved cores err = %v, want ErrNotReserved", err)
+	}
+	// Partial overlap must fail atomically: reserve 2, release 4.
+	if err := m.ReserveCPUs(app[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReleaseCPUs(app[:4]); !errors.Is(err, ErrNotReserved) {
+		t.Fatalf("partial release err = %v, want ErrNotReserved", err)
+	}
+	if len(m.ReservedCPUs()) != 2 {
+		t.Fatal("failed release must not change the reservation")
+	}
+}
+
+func TestReserveMemoryAfterBootRejected(t *testing.T) {
+	m := bootedManager(t)
+	before := m.ReservedMemoryBytes()
+	if err := m.ReserveMemory(1 << 30); !errors.Is(err, ErrAlreadyBooted) {
+		t.Fatalf("reserve-after-boot err = %v, want ErrAlreadyBooted", err)
+	}
+	if m.ReservedMemoryBytes() != before {
+		t.Fatal("rejected reservation changed the partition")
+	}
+}
+
+func TestReserveCPUsAfterBootRejected(t *testing.T) {
+	m := bootedManager(t)
+	if err := m.ReserveCPUs(m.Host.Topo.AppCores()[:1]); !errors.Is(err, ErrAlreadyBooted) {
+		t.Fatalf("reserve-after-boot err = %v, want ErrAlreadyBooted", err)
+	}
+}
+
+func TestShutdownWithoutBoot(t *testing.T) {
+	m := NewManager(newHost(t))
+	if err := m.Shutdown(); !errors.Is(err, ErrNotBooted) {
+		t.Fatalf("shutdown without boot err = %v, want ErrNotBooted", err)
+	}
+}
+
+func TestHooksMakeOperationsFallible(t *testing.T) {
+	injected := errors.New("injected prologue failure")
+	m := NewManager(newHost(t))
+	m.Hooks = Hooks{
+		BeforeReserveCPUs:   func([]int) error { return injected },
+		BeforeReserveMemory: func(int64) error { return injected },
+		BeforeBoot:          func() error { return injected },
+	}
+	app := m.Host.Topo.AppCores()
+	if err := m.ReserveCPUs(app); !errors.Is(err, injected) {
+		t.Fatalf("cpu hook err = %v", err)
+	}
+	if len(m.ReservedCPUs()) != 0 {
+		t.Fatal("failed hook must not reserve cores")
+	}
+	if err := m.ReserveMemory(1 << 30); !errors.Is(err, injected) {
+		t.Fatalf("mem hook err = %v", err)
+	}
+	if m.ReservedMemoryBytes() != 0 {
+		t.Fatal("failed hook must not reserve memory")
+	}
+	// Clear the reserve hooks, keep the boot hook: boot must fail.
+	m.Hooks.BeforeReserveCPUs = nil
+	m.Hooks.BeforeReserveMemory = nil
+	if err := m.ReserveCPUs(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReserveMemory(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Boot(); !errors.Is(err, injected) {
+		t.Fatalf("boot hook err = %v", err)
+	}
+	if m.Booted() {
+		t.Fatal("failed boot must leave the partition down")
+	}
+	m.Hooks.BeforeBoot = nil
+	if _, err := m.Boot(); err != nil {
+		t.Fatalf("boot after clearing hook: %v", err)
+	}
+}

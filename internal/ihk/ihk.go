@@ -26,10 +26,21 @@ var (
 	ErrNoResources   = errors.New("ihk: partition has no reserved resources")
 )
 
+// Hooks lets callers make the reserve/boot operations fallible: the fault
+// injector installs functions here to model prologue scripts failing in
+// production (Sec. 5.1 — "ihk reserve" failing in a job prologue was a real
+// operational failure mode at scale). A nil hook is a no-op.
+type Hooks struct {
+	BeforeReserveCPUs   func(cores []int) error
+	BeforeReserveMemory func(bytesPerDomain int64) error
+	BeforeBoot          func() error
+}
+
 // Manager is the IHK core module attached to one Linux node. It tracks which
 // CPUs and memory regions have been detached from Linux for LWK use.
 type Manager struct {
-	Host *linux.Kernel
+	Host  *linux.Kernel
+	Hooks Hooks
 
 	reservedCores map[int]bool
 	reservedMem   []mem.Region
@@ -45,6 +56,14 @@ func NewManager(host *linux.Kernel) *Manager {
 // be reserved: Linux needs them, and the whole point is to leave Linux
 // running beside the LWK.
 func (m *Manager) ReserveCPUs(cores []int) error {
+	if m.booted {
+		return fmt.Errorf("%w: cannot change a running partition's CPUs", ErrAlreadyBooted)
+	}
+	if m.Hooks.BeforeReserveCPUs != nil {
+		if err := m.Hooks.BeforeReserveCPUs(cores); err != nil {
+			return fmt.Errorf("ihk: reserving CPUs: %w", err)
+		}
+	}
 	appSet := make(map[int]bool)
 	for _, c := range m.Host.Topo.AppCores() {
 		appSet[c] = true
@@ -94,8 +113,16 @@ func (m *Manager) ReservedCPUs() []int {
 // ReserveMemory detaches bytes of physical memory per application NUMA
 // domain from Linux's allocator and assigns it to the partition.
 func (m *Manager) ReserveMemory(bytesPerDomain int64) error {
+	if m.booted {
+		return fmt.Errorf("%w: cannot change a running partition's memory", ErrAlreadyBooted)
+	}
 	if bytesPerDomain <= 0 {
 		return fmt.Errorf("ihk: non-positive reservation %d", bytesPerDomain)
+	}
+	if m.Hooks.BeforeReserveMemory != nil {
+		if err := m.Hooks.BeforeReserveMemory(bytesPerDomain); err != nil {
+			return fmt.Errorf("ihk: reserving memory: %w", err)
+		}
 	}
 	var got []mem.Region
 	for _, node := range m.Host.Mem.AppNodes() {
@@ -160,6 +187,11 @@ func (m *Manager) Boot() (*Partition, error) {
 	}
 	if len(m.reservedCores) == 0 || len(m.reservedMem) == 0 {
 		return nil, ErrNoResources
+	}
+	if m.Hooks.BeforeBoot != nil {
+		if err := m.Hooks.BeforeBoot(); err != nil {
+			return nil, fmt.Errorf("ihk: booting LWK: %w", err)
+		}
 	}
 	m.booted = true
 	return &Partition{Cores: m.ReservedCPUs(), Memory: append([]mem.Region(nil), m.reservedMem...)}, nil

@@ -30,6 +30,9 @@ type RankProcess struct {
 	Proc    *Process
 	Cores   []int
 	HeapVMA *mem.VMA
+	// HeapBase is the physical base the LWK allocator handed out for the
+	// heap; ReleaseJob must free exactly this, not the VMA's virtual start.
+	HeapBase int64
 }
 
 // McexecJob is the result of one invocation.
@@ -64,9 +67,11 @@ func (in *Instance) Mcexec(name string, opts McexecOptions) (*McexecJob, error) 
 		}
 		rp := &RankProcess{Rank: r, Proc: p, Cores: block}
 		if opts.HeapBytes > 0 {
-			if _, err := in.LWKMem.Alloc(opts.HeapBytes); err != nil {
+			base, err := in.LWKMem.Alloc(opts.HeapBytes)
+			if err != nil {
 				return nil, fmt.Errorf("mckernel: rank %d heap: %w", r, err)
 			}
+			rp.HeapBase = base
 			vma, err := p.addressSpace().Map(opts.HeapBytes, mem.Page64K, true, "heap")
 			if err != nil {
 				return nil, err
@@ -86,7 +91,9 @@ func (in *Instance) Mcexec(name string, opts McexecOptions) (*McexecJob, error) 
 func (in *Instance) ReleaseJob(job *McexecJob) error {
 	for _, rp := range job.Ranks {
 		if rp.HeapVMA != nil {
-			in.LWKMem.Free(rp.HeapVMA.Start, rp.HeapVMA.Length)
+			if err := in.LWKMem.Free(rp.HeapBase, rp.HeapVMA.Length); err != nil {
+				return err
+			}
 		}
 		if !rp.Proc.Exited {
 			if err := in.Exit(rp.Proc, 0); err != nil {

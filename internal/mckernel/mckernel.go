@@ -50,11 +50,35 @@ type Instance struct {
 	// hold Linux-managed state such as file descriptor tables).
 	Proxies []*Proxy
 
-	nextPID int
+	nextPID     int
+	panicked    bool
+	panicReason string
 }
 
 // ErrNoPartition reports a Boot call without reserved resources.
 var ErrNoPartition = errors.New("mckernel: nil partition")
+
+// ErrKernelPanic reports an operation on a dead LWK. At pre-exascale node
+// counts McKernel panics and hangs were routine operational events (Sec. 5);
+// the recovery machinery in internal/cluster reboots the LWK or falls back
+// to Linux when this surfaces.
+var ErrKernelPanic = errors.New("mckernel: kernel panic")
+
+// Panic marks the LWK dead, as after an in-kernel fault or fatal OOM
+// (McKernel cannot reclaim memory — no demand paging — so exhaustion is a
+// panic, not a slowdown). Subsequent process operations fail with
+// ErrKernelPanic until the partition is rebooted via a fresh Boot.
+func (in *Instance) Panic(reason string) error {
+	in.panicked = true
+	in.panicReason = reason
+	return fmt.Errorf("%w: %s", ErrKernelPanic, reason)
+}
+
+// Healthy reports whether the LWK is still alive.
+func (in *Instance) Healthy() bool { return !in.panicked }
+
+// PanicReason returns the recorded cause of death, "" while healthy.
+func (in *Instance) PanicReason() string { return in.panicReason }
 
 // Boot starts McKernel on an IHK partition of the given host.
 func Boot(host *linux.Kernel, part *ihk.Partition, cfg Config) (*Instance, error) {
@@ -89,6 +113,9 @@ type Proxy struct {
 // Spawn creates a McKernel process with nThreads threads and its proxy
 // process on the Linux side.
 func (in *Instance) Spawn(name string, nThreads int) (*Process, error) {
+	if in.panicked {
+		return nil, fmt.Errorf("%w: %s", ErrKernelPanic, in.panicReason)
+	}
 	if nThreads < 1 {
 		return nil, fmt.Errorf("mckernel: process %q needs at least one thread", name)
 	}

@@ -22,18 +22,33 @@ type Memory struct {
 	// memory back" policy.
 	freeLists map[int64][]int64 // size -> base addresses
 
+	// live tracks outstanding allocations (base -> size) so Free can reject
+	// double frees and frees of addresses the allocator never handed out
+	// instead of silently corrupting the accounting.
+	live map[int64]int64
+
+	// AllocHook, when non-nil, runs before every allocation and can force
+	// it to fail — the fault injector's OOM surface. McKernel has no demand
+	// paging, so a failed allocation is fatal to the job, not reclaimable.
+	AllocHook func(size int64) error
+
 	total     int64
 	allocated int64
 }
 
 // Memory errors.
-var ErrLWKOutOfMemory = errors.New("mckernel: partition memory exhausted")
+var (
+	ErrLWKOutOfMemory = errors.New("mckernel: partition memory exhausted")
+	ErrBadFree        = errors.New("mckernel: free of unallocated chunk")
+	ErrSizeMismatch   = errors.New("mckernel: free size does not match allocation")
+)
 
 // NewMemory builds the manager over the partition's regions.
 func NewMemory(regions []mem.Region) *Memory {
 	m := &Memory{
 		regions:   append([]mem.Region(nil), regions...),
 		freeLists: make(map[int64][]int64),
+		live:      make(map[int64]int64),
 	}
 	for _, r := range regions {
 		m.total += r.Bytes
@@ -47,6 +62,9 @@ func (m *Memory) TotalBytes() int64 { return m.total }
 // AllocatedBytes returns the bytes handed out and not yet freed.
 func (m *Memory) AllocatedBytes() int64 { return m.allocated }
 
+// LiveChunks returns the number of outstanding allocations.
+func (m *Memory) LiveChunks() int { return len(m.live) }
+
 // Alloc returns the base address of a chunk of exactly size bytes, rounded
 // up to the 2 MiB large-page granule. Freed chunks of the same size are
 // reused first (O(1)); otherwise the carve cursor advances.
@@ -54,11 +72,17 @@ func (m *Memory) Alloc(size int64) (int64, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("mckernel: non-positive allocation %d", size)
 	}
+	if m.AllocHook != nil {
+		if err := m.AllocHook(size); err != nil {
+			return 0, err
+		}
+	}
 	size = mem.Page2M.Align(size)
 	if list := m.freeLists[size]; len(list) > 0 {
 		base := list[len(list)-1]
 		m.freeLists[size] = list[:len(list)-1]
 		m.allocated += size
+		m.live[base] = size
 		return base, nil
 	}
 	for m.cursor < len(m.regions) {
@@ -67,6 +91,7 @@ func (m *Memory) Alloc(size int64) (int64, error) {
 			base := r.Base + m.offset
 			m.offset += size
 			m.allocated += size
+			m.live[base] = size
 			return base, nil
 		}
 		m.cursor++
@@ -78,13 +103,22 @@ func (m *Memory) Alloc(size int64) (int64, error) {
 // Free returns a chunk to the size-class cache. The physical pages stay with
 // the LWK (and stay mapped with large pages); nothing is handed back to
 // Linux, so the next Alloc of this size is a cache hit with no page faults.
-func (m *Memory) Free(base, size int64) {
+// Double frees and frees of addresses Alloc never returned are rejected: the
+// accounting backs the OOM model, so corrupting it silently would let a
+// buggy caller mask or fabricate memory exhaustion.
+func (m *Memory) Free(base, size int64) error {
 	size = mem.Page2M.Align(size)
+	got, ok := m.live[base]
+	if !ok {
+		return fmt.Errorf("%w: base %#x", ErrBadFree, base)
+	}
+	if got != size {
+		return fmt.Errorf("%w: base %#x allocated %d bytes, freed %d", ErrSizeMismatch, base, got, size)
+	}
+	delete(m.live, base)
 	m.freeLists[size] = append(m.freeLists[size], base)
 	m.allocated -= size
-	if m.allocated < 0 {
-		m.allocated = 0
-	}
+	return nil
 }
 
 // CachedBytes returns the bytes sitting in the free caches.
