@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all build vet test race check
+.PHONY: all build fmt vet test race check determinism
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# fmt fails when any file is not gofmt-clean (CI gate).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +21,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is what CI runs: vet, build, then the full suite under the race
-# detector.
-check: vet build race
+# determinism runs the fault-injection sweep twice with telemetry artifacts
+# enabled and fails on any byte difference — the metrics dump and trace JSON
+# must be identical for identical seeds.
+determinism:
+	$(GO) run ./cmd/faultexp -jobs 2 -nodes 4 -report=false \
+		-trace /tmp/mkos-det-1.json -metrics /tmp/mkos-det-1.txt > /dev/null
+	$(GO) run ./cmd/faultexp -jobs 2 -nodes 4 -report=false \
+		-trace /tmp/mkos-det-2.json -metrics /tmp/mkos-det-2.txt > /dev/null
+	cmp /tmp/mkos-det-1.json /tmp/mkos-det-2.json
+	cmp /tmp/mkos-det-1.txt /tmp/mkos-det-2.txt
+	@echo "telemetry artifacts byte-identical across runs"
+
+# check is what CI runs: formatting, vet, build, the full suite under the
+# race detector, and the telemetry determinism double-run.
+check: fmt vet build race determinism

@@ -23,6 +23,7 @@ import (
 	"mkos/internal/bsp"
 	"mkos/internal/cluster"
 	"mkos/internal/fault"
+	"mkos/internal/telemetry"
 )
 
 // baseRates is the 1x point of the sweep. The per-hour hazards are sized so
@@ -93,7 +94,13 @@ func main() {
 	nodes := flag.Int("nodes", 8, "nodes per job")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	report := flag.Bool("report", true, "print the full failure report of the heaviest McKernel point")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump to this file")
+	profilePath := flag.String("profile", "", "write the engine profiler report (host wall times, non-deterministic)")
 	flag.Parse()
+	if *tracePath != "" {
+		telemetry.EnableTrace()
+	}
 
 	var p *cluster.Platform
 	switch *platform {
@@ -137,5 +144,20 @@ func main() {
 		fmt.Println()
 		fmt.Printf("failure report, heaviest McKernel point (%gx base rates):\n", intensities[len(intensities)-1])
 		fmt.Print(heaviest.Report.String())
+	}
+
+	for _, w := range []struct {
+		path string
+		fn   func(string) error
+	}{
+		{*metricsPath, telemetry.WriteMetricsFile},
+		{*tracePath, telemetry.WriteTraceFile},
+		{*profilePath, telemetry.WriteProfileFile},
+	} {
+		if w.path != "" {
+			if err := w.fn(w.path); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }

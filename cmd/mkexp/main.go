@@ -20,6 +20,7 @@ import (
 
 	"mkos/internal/apps"
 	"mkos/internal/core"
+	"mkos/internal/telemetry"
 )
 
 func main() {
@@ -32,9 +33,22 @@ func main() {
 	runs := flag.Int("runs", 3, "runs per data point (the paper uses >=3)")
 	seed := flag.Int64("seed", 1, "base seed; run i uses seed+i")
 	isolation := flag.Bool("isolation", false, "run the co-location isolation experiment instead of a figure")
-	metrics := flag.Bool("metrics", false, "also print each application's custom metric (FOM, TFLOPS, ...)")
+	fom := flag.Bool("fom", false, "also print each application's custom metric (FOM, TFLOPS, ...)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+	metricsPath := flag.String("metrics", "", "write the deterministic telemetry metrics dump to this file")
 	flag.Parse()
-	showMetrics = *metrics
+	showMetrics = *fom
+	if *tracePath != "" {
+		telemetry.EnableTrace()
+	}
+	defer func() {
+		if err := telemetry.WriteMetricsFile(*metricsPath); err != nil {
+			log.Fatal(err)
+		}
+		if err := telemetry.WriteTraceFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	if *isolation {
 		runIsolation(*platform, *appName, *nodeList, *seed)

@@ -18,8 +18,15 @@ import (
 	"time"
 
 	"mkos/internal/apps"
+	"mkos/internal/bsp"
+	"mkos/internal/cluster"
 	"mkos/internal/core"
+	"mkos/internal/fault"
+	"mkos/internal/kernel"
+	"mkos/internal/mckernel"
 	"mkos/internal/noise"
+	"mkos/internal/sim"
+	"mkos/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +34,14 @@ func main() {
 	log.SetPrefix("repro: ")
 	quick := flag.Bool("quick", false, "reduced scales for a fast smoke run")
 	outdir := flag.String("outdir", "results", "directory for generated data files")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump to this file")
+	profilePath := flag.String("profile", "", "write the engine profiler report (host wall times, non-deterministic)")
 	flag.Parse()
 
+	if *tracePath != "" {
+		telemetry.EnableTrace()
+	}
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +52,7 @@ func main() {
 	if *quick {
 		t2cfg.Nodes, t2cfg.Duration = 4, time.Minute
 	}
-	fmt.Printf("[1/4] Table 2 (%d nodes, %v FWQ)...\n", t2cfg.Nodes, t2cfg.Duration)
+	fmt.Printf("[1/5] Table 2 (%d nodes, %v FWQ)...\n", t2cfg.Nodes, t2cfg.Duration)
 	rows, err := core.Table2(t2cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -53,7 +66,7 @@ func main() {
 	})
 
 	// --- Figure 3 (series data is embedded in the Table 2 rows) ---
-	fmt.Printf("[2/4] Figure 3 noise series...\n")
+	fmt.Printf("[2/5] Figure 3 noise series...\n")
 	writeFile(*outdir, "figure3.txt", func(f *os.File) {
 		for _, r := range rows {
 			s := noise.SeriesMicros(r.Lengths)
@@ -73,7 +86,7 @@ func main() {
 		f4cfg.OFPNodes, f4cfg.FugakuFullNodes, f4cfg.Fugaku24Racks = 32, 96, 12
 		f4cfg.Duration = 30 * time.Second
 	}
-	fmt.Printf("[3/4] Figure 4 CDFs (%d/%d/%d nodes)...\n",
+	fmt.Printf("[3/5] Figure 4 CDFs (%d/%d/%d nodes)...\n",
 		f4cfg.OFPNodes, f4cfg.FugakuFullNodes, f4cfg.Fugaku24Racks)
 	curves, err := core.Figure4(f4cfg)
 	if err != nil {
@@ -93,7 +106,7 @@ func main() {
 	if *quick {
 		seeds = []int64{1}
 	}
-	fmt.Printf("[4/4] application figures...\n")
+	fmt.Printf("[4/5] application figures...\n")
 	specs := append(append(core.Figure5Specs(), core.Figure6Specs()...), core.Figure7Specs()...)
 	type key struct{ fig, app string }
 	top := map[key]core.Comparison{}
@@ -115,6 +128,32 @@ func main() {
 			}
 		}
 	})
+
+	// --- Operational stage: engine-driven fault recovery + syscall offload ---
+	// The figure stages above are closed-form; this stage drives the
+	// discrete-event machinery (resilient batch system, syscall delegation)
+	// so the telemetry artifacts carry live sim/cluster/fault/mckernel data.
+	fmt.Printf("[5/5] operational stage (fault recovery + syscall offload)...\n")
+	runOpsStage(*quick)
+
+	// --- Telemetry artifacts ---
+	for _, w := range []struct {
+		path string
+		fn   func(string) error
+		kind string
+	}{
+		{*metricsPath, telemetry.WriteMetricsFile, "metrics"},
+		{*tracePath, telemetry.WriteTraceFile, "trace"},
+		{*profilePath, telemetry.WriteProfileFile, "profile"},
+	} {
+		if w.path == "" {
+			continue
+		}
+		if err := w.fn(w.path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s to %s\n", w.kind, w.path)
+	}
 
 	// --- Summary ---
 	fmt.Printf("\n=== paper vs measured (top-of-sweep relative performance) ===\n")
@@ -139,6 +178,93 @@ func main() {
 			spec.Figure, spec.App, spec.Platform, paper[k], c.Relative, c.Nodes)
 	}
 	fmt.Printf("\ndone in %v; data in %s/\n", time.Since(start).Round(time.Second), *outdir)
+}
+
+// runOpsStage exercises the event-driven subsystems the figure stages never
+// touch: a small fault-injected batch on the resilient scheduler (cluster,
+// fault and sim engine telemetry) and a syscall chain through the McKernel
+// delegator (LWK-local vs offloaded calls, IKC traffic, proxy queueing).
+func runOpsStage(quick bool) {
+	const seed = 7
+	p := cluster.OFP()
+
+	// Fault-injected batch: rates high enough that a quarter-second job sees
+	// panics, hangs and OOM kills, so detection and recovery machinery runs.
+	rates := fault.Rates{
+		NodeCrashPerHour: 500, LWKPanicPerHour: 2000, LWKHangPerHour: 1000,
+		IHKReserveFailProb: 0.05, IKCTimeoutProb: 0.05, LWKOOMProb: 0.05,
+	}
+	rs, err := cluster.NewResilientScheduler(p, fault.NewInjector(rates, seed), cluster.DefaultRecoveryPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := 6
+	if quick {
+		jobs = 3
+	}
+	w := bsp.Workload{
+		Name: "ops-probe", Scaling: bsp.StrongScaling, RefNodes: 4,
+		Steps: 40, StepCompute: 5 * time.Millisecond,
+		WorkingSetPerRank: 64 << 20, MemAccessPeriod: 100 * time.Nanosecond,
+	}
+	g := bsp.Geometry{RanksPerNode: 4, ThreadsPerRank: 16}
+	for j := 0; j < jobs; j++ {
+		// Terminal failures are part of the exercise, not an error.
+		_, _ = rs.Submit(w, g, 4, cluster.McKernel, seed*1000+int64(j))
+	}
+	r := rs.Report
+	fmt.Printf("      batch: %d jobs, %d completed (%d fallback), %d failed, %d faults, %d retries\n",
+		r.Jobs, r.Completed, r.Fallbacks, r.Failed, r.TotalInjected(), r.Retries)
+
+	// Syscall delegation: one McKernel node, one thread, a mixed chain of
+	// LWK-local and Linux-offloaded calls driven to completion on the engine.
+	node, err := p.NewNodeAt(1, cluster.McKernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	telemetry.AttachEngine(eng)
+	d := mckernel.NewDelegator(node.LWK, eng)
+	proc, err := node.LWK.Spawn("ops-probe", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := node.LWK.Scheduler.Dispatch(proc.Threads[0].Core)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chain := []kernel.Syscall{
+		kernel.SysMmap, kernel.SysBrk, kernel.SysOpen, kernel.SysRead,
+		kernel.SysFutex, kernel.SysWrite, kernel.SysClose, kernel.SysGetpid,
+	}
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= len(chain) {
+			return
+		}
+		// A completed offload leaves the thread ready, not running: the LWK
+		// round-robin must dispatch it again before it can issue.
+		if th.State != mckernel.ThreadRunning {
+			if _, err := node.LWK.Scheduler.Dispatch(th.Core); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := d.Issue(th, chain[i], func(sim.Time) { issue(i + 1) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	issue(0)
+	eng.Run()
+	local, delegated, queueing := d.Stats()
+	fmt.Printf("      syscalls: %d LWK-local, %d offloaded to Linux (proxy queueing %v)\n",
+		local, delegated, queueing)
+
+	// Linux-side attribution: replays the host noise profile through the
+	// ftrace model so per-task scheduling spans land on the shared timeline.
+	attr := node.Host.AttributeProfile(100*time.Millisecond, seed)
+	if len(attr) > 0 {
+		fmt.Printf("      linux ftrace: top interferer on app cores: %s\n", attr[0].Task)
+	}
 }
 
 func mustApp(name string, p apps.PlatformName) apps.App {

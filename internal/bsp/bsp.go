@@ -16,6 +16,7 @@ import (
 	"mkos/internal/interconnect"
 	"mkos/internal/noise"
 	"mkos/internal/sim"
+	"mkos/internal/telemetry"
 )
 
 // OS is the operating-system cost model consumed by the engine. Both
@@ -221,11 +222,16 @@ func Run(w Workload, m Machine, nodes int, seed int64) (Result, error) {
 		runtime = time.Duration(float64(runtime) * factor)
 	}
 
+	telemetry.C("bsp.runs").Inc()
+	telemetry.H("bsp.runtime_s", runtimeBuckets).Observe(runtime.Seconds())
 	return Result{
 		App: w.Name, OS: m.OS.Name(), Nodes: nodes,
 		Runtime: runtime, Breakdown: b,
 	}, nil
 }
+
+// runtimeBuckets covers sub-second micro-benchmarks up to hour-long sweeps.
+var runtimeBuckets = telemetry.ExpBuckets(0.25, 2, 14)
 
 // sampleStepNoise returns, for each step, the maximum interruption time any
 // rank in the whole job suffers inside that step's window.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mkos/internal/bsp"
+	"mkos/internal/telemetry"
 )
 
 // Integration is how IHK/McKernel hooks into the platform's batch system
@@ -120,6 +121,7 @@ func (js *JobScheduler) fail(job *Job, err error) error {
 	job.State = JobFailed
 	job.Err = err
 	js.failed = append(js.failed, job)
+	telemetry.C("cluster.jobs.failed").Inc()
 	return err
 }
 
@@ -132,6 +134,7 @@ func (js *JobScheduler) Submit(w bsp.Workload, g bsp.Geometry, nodes int, os OSK
 		ID: js.nextID, Workload: w, Geometry: g, Nodes: nodes, OS: os,
 		StopPMUReads: true, Seed: seed, State: JobQueued, Attempts: 1,
 	}
+	telemetry.C("cluster.jobs.submitted").Inc()
 	if nodes < 1 || nodes > js.Platform.MaxNodes {
 		return job, js.fail(job, fmt.Errorf("%w: %d > %d", ErrTooManyNodes, nodes, js.Platform.MaxNodes))
 	}
@@ -156,6 +159,7 @@ func (js *JobScheduler) Submit(w bsp.Workload, g bsp.Geometry, nodes int, os OSK
 	job.Result = res
 	job.State = JobCompleted
 	js.completed = append(js.completed, job)
+	telemetry.C("cluster.jobs.completed").Inc()
 	return job, nil
 }
 
@@ -167,6 +171,7 @@ func (js *JobScheduler) SubmitWithPMUReads(w bsp.Workload, g bsp.Geometry, nodes
 		ID: js.nextID, Workload: w, Geometry: g, Nodes: nodes, OS: os,
 		StopPMUReads: false, Seed: seed, State: JobQueued, Attempts: 1,
 	}
+	telemetry.C("cluster.jobs.submitted").Inc()
 	if err := js.Platform.Validate(g); err != nil {
 		return job, js.fail(job, err)
 	}
@@ -186,6 +191,7 @@ func (js *JobScheduler) SubmitWithPMUReads(w bsp.Workload, g bsp.Geometry, nodes
 	job.Result = res
 	job.State = JobCompleted
 	js.completed = append(js.completed, job)
+	telemetry.C("cluster.jobs.completed").Inc()
 	return job, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"mkos/internal/ihk"
 	"mkos/internal/mckernel"
 	"mkos/internal/sim"
+	"mkos/internal/telemetry"
 )
 
 // This file wires failure recovery into the batch system: the operational
@@ -114,11 +115,15 @@ func NewResilientScheduler(p *Platform, inj *fault.Injector, pol RecoveryPolicy)
 	if inj == nil {
 		inj = fault.NewInjector(fault.Rates{}, 0)
 	}
+	eng := sim.NewEngine()
+	// Every event the recovery machinery schedules lands in the shared
+	// profiler: per-handler counts, queue-depth high-water mark.
+	telemetry.AttachEngine(eng)
 	return &ResilientScheduler{
 		JobScheduler: NewJobScheduler(p),
 		Injector:     inj,
 		Policy:       pol,
-		Engine:       sim.NewEngine(),
+		Engine:       eng,
 		Report:       &fault.FailureReport{Seed: inj.Seed()},
 		nodeFailures: make(map[int]int),
 		blacklisted:  make(map[int]bool),
@@ -150,6 +155,8 @@ func (rs *ResilientScheduler) noteNodeFailure(node int) {
 	if rs.Policy.BlacklistAfter > 0 && rs.nodeFailures[node] >= rs.Policy.BlacklistAfter && !rs.blacklisted[node] {
 		rs.blacklisted[node] = true
 		rs.Report.Blacklist(node)
+		telemetry.C("cluster.nodes.blacklisted").Inc()
+		telemetry.Instant("cluster", "blacklist", node, 0, rs.Engine.Now())
 	}
 }
 
@@ -180,6 +187,7 @@ func (rs *ResilientScheduler) Submit(w bsp.Workload, g bsp.Geometry, nodes int, 
 		StopPMUReads: true, Seed: seed, State: JobQueued,
 	}
 	rs.Report.Jobs++
+	telemetry.C("cluster.jobs.submitted").Inc()
 	if nodes < 1 || nodes > rs.Platform.MaxNodes {
 		return job, rs.fail(job, fmt.Errorf("%w: %d > %d", ErrTooManyNodes, nodes, rs.Platform.MaxNodes))
 	}
@@ -234,6 +242,7 @@ func (rs *ResilientScheduler) runAttempt(job *Job, os OSKind, seed int64, n, lwk
 	job.Attempts = n + 1
 	job.OS = os
 	job.State = JobRunning
+	telemetry.C("cluster.attempts").Inc()
 	a := &attempt{job: job, os: os, seed: seed, n: n, lwkFailures: lwkFailures, start: e.Now()}
 
 	nodeIDs, ok := rs.assignNodes(job.Nodes)
@@ -325,6 +334,24 @@ func (rs *ResilientScheduler) runAttempt(job *Job, os OSKind, seed int64, n, lwk
 	}
 }
 
+// attemptSpan puts one attempt's lifetime on the shared timeline: pid is the
+// attempt's first node, the span runs from prologue start to the instant the
+// outcome was known (completion, or detection for dead attempts).
+func (rs *ResilientScheduler) attemptSpan(a *attempt, outcome string) {
+	if !telemetry.TraceEnabled() {
+		return
+	}
+	pid := 0
+	if len(a.nodeIDs) > 0 {
+		pid = a.nodeIDs[0]
+	}
+	now := rs.Engine.Now()
+	telemetry.Span("cluster", fmt.Sprintf("job%d/a%d", a.job.ID, a.n), pid, 0,
+		a.start, sim.Duration(now.Sub(a.start)),
+		telemetry.Arg{Key: "outcome", Val: outcome},
+		telemetry.Arg{Key: "os", Val: a.os.String()})
+}
+
 // onFault marks the attempt dead and pokes the matching kernel surfaces so
 // the recorded error chains are the real ones.
 func (rs *ResilientScheduler) onFault(a *attempt, f fault.Fault) {
@@ -333,6 +360,7 @@ func (rs *ResilientScheduler) onFault(a *attempt, f fault.Fault) {
 	a.theFault = f
 	a.faultAt = e.Now()
 	rs.Report.AddFault(f.Kind)
+	telemetry.Instant("cluster", "fault:"+f.Kind.String(), f.Node, 0, e.Now())
 	e.Cancel(a.complete)
 
 	switch f.Kind {
@@ -401,6 +429,7 @@ func (rs *ResilientScheduler) onDetect(a *attempt) {
 	a.watchdog.Stop()
 	rs.Report.AddDetection(e.Now().Sub(a.faultAt))
 	rs.Report.AddWaste(a.job.Nodes, e.Now().Sub(a.start))
+	rs.attemptSpan(a, "fault:"+a.theFault.Kind.String())
 	rs.noteNodeFailure(a.theFault.Node)
 
 	lwkFailures := a.lwkFailures
@@ -427,8 +456,10 @@ func (rs *ResilientScheduler) retry(a *attempt, nextOS OSKind, lwkFailures int, 
 	}
 	if fellBack {
 		job.FellBack = true
+		telemetry.C("cluster.fallbacks").Inc()
 	}
 	rs.Report.Retries++
+	telemetry.C("cluster.retries").Inc()
 	backoff := rs.Policy.Backoff(a.n)
 	rs.Engine.Schedule(backoff, fmt.Sprintf("job%d-retry%d", job.ID, a.n+1), func(*sim.Engine) {
 		rs.runAttempt(job, nextOS, a.seed, a.n+1, lwkFailures)
@@ -439,6 +470,7 @@ func (rs *ResilientScheduler) retry(a *attempt, nextOS OSKind, lwkFailures int, 
 func (rs *ResilientScheduler) onComplete(a *attempt, res bsp.Result) {
 	a.heartbeat.Stop()
 	a.watchdog.Stop()
+	rs.attemptSpan(a, "completed")
 	job := a.job
 	if a.os == McKernel && rs.Integration == PrologueEpilogue {
 		job.Overhead += epilogueCost
@@ -448,6 +480,7 @@ func (rs *ResilientScheduler) onComplete(a *attempt, res bsp.Result) {
 	job.Err = nil
 	rs.completed = append(rs.completed, job)
 	rs.Report.Completed++
+	telemetry.C("cluster.jobs.completed").Inc()
 	if job.FellBack {
 		rs.Report.Fallbacks++
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"mkos/internal/telemetry"
 )
 
 // FailureReport summarises one fault-injection experiment: what was injected,
@@ -50,8 +52,14 @@ func (r *FailureReport) MeanDetectionLatency() time.Duration {
 	return r.DetectLatSum / time.Duration(r.Detections)
 }
 
+// detectLatencyBuckets buckets detection latency in milliseconds.
+var detectLatencyBuckets = telemetry.ExpBuckets(1, 4, 8)
+
 // AddFault records one injected fault.
-func (r *FailureReport) AddFault(k Kind) { r.Injected[k]++ }
+func (r *FailureReport) AddFault(k Kind) {
+	r.Injected[k]++
+	telemetry.C("fault.injected." + k.String()).Inc()
+}
 
 // AddDetection records the monitor noticing a fault lat after it struck.
 func (r *FailureReport) AddDetection(lat time.Duration) {
@@ -60,6 +68,9 @@ func (r *FailureReport) AddDetection(lat time.Duration) {
 	if lat > r.DetectLatMax {
 		r.DetectLatMax = lat
 	}
+	telemetry.C("fault.detections").Inc()
+	telemetry.H("fault.detect_latency_ms", detectLatencyBuckets).
+		Observe(float64(lat) / float64(time.Millisecond))
 }
 
 // AddWaste charges nodes burning d each to the wasted-work counter.

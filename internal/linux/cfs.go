@@ -7,6 +7,7 @@ import (
 
 	"mkos/internal/kernel"
 	"mkos/internal/sim"
+	"mkos/internal/telemetry"
 )
 
 // CFS-lite: an event-driven per-core run queue in the style of Linux's
@@ -126,6 +127,11 @@ func (c *CFS) dispatch(cc *cfsCore) {
 	run := next.remaining
 	if run > cfsSlice {
 		run = cfsSlice
+	}
+	telemetry.C("linux.cfs.preemptions").Inc()
+	if telemetry.TraceEnabled() {
+		telemetry.Span("linux", "cfs:"+next.name, 0, cc.id, now, run,
+			telemetry.Arg{Key: "kind", Val: next.kind.String()})
 	}
 	c.engine.Schedule(run, "cfs:"+next.name, func(e *sim.Engine) {
 		cc.stolen += run

@@ -7,6 +7,7 @@ import (
 
 	"mkos/internal/kernel"
 	"mkos/internal/sim"
+	"mkos/internal/telemetry"
 )
 
 // Tracer is the model's ftrace: it records which task ran on which CPU and
@@ -20,6 +21,10 @@ type Tracer struct {
 	enabled bool
 	events  []TraceEvent
 	limit   int
+	dropped uint64
+	// Node keys the events this tracer forwards to the shared telemetry
+	// recorder; zero for single-node profiles.
+	Node int
 }
 
 // TraceEvent is one scheduling event in the trace buffer.
@@ -49,7 +54,11 @@ func (t *Tracer) Disable() { t.enabled = false }
 func (t *Tracer) Enabled() bool { return t.enabled }
 
 // Record appends one event, dropping the oldest when the buffer is full
-// (ftrace ring-buffer semantics).
+// (ftrace ring-buffer semantics). Drops are counted — never silent — and
+// surfaced both via Dropped and the shared linux.ftrace.dropped counter, so
+// a truncated attribution is visible in the metrics dump. Every recorded
+// event is also forwarded to the shared telemetry recorder, putting Linux
+// scheduling noise on the same timeline as the rest of the stack.
 func (t *Tracer) Record(at sim.Time, cpu int, task string, kind kernel.TaskKind, d time.Duration) {
 	if !t.enabled {
 		return
@@ -57,12 +66,22 @@ func (t *Tracer) Record(at sim.Time, cpu int, task string, kind kernel.TaskKind,
 	if len(t.events) >= t.limit {
 		copy(t.events, t.events[1:])
 		t.events = t.events[:len(t.events)-1]
+		t.dropped++
+		telemetry.C("linux.ftrace.dropped").Inc()
 	}
 	t.events = append(t.events, TraceEvent{At: at, CPU: cpu, Task: task, Kind: kind, Len: d})
+	telemetry.C("linux.ftrace.events").Inc()
+	if telemetry.TraceEnabled() {
+		telemetry.Span("linux", task, t.Node, cpu, at, d,
+			telemetry.Arg{Key: "kind", Val: kind.String()})
+	}
 }
 
 // Events returns the recorded events in order.
 func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// Dropped returns how many events ring-buffer wraparound discarded.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
 
 // Attribution summarizes stolen time by task name.
 type Attribution struct {

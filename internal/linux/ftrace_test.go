@@ -1,12 +1,14 @@
 package linux
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"mkos/internal/cpu"
 	"mkos/internal/kernel"
 	"mkos/internal/sim"
+	"mkos/internal/telemetry"
 )
 
 func TestTracerRecordAndAttribute(t *testing.T) {
@@ -117,6 +119,59 @@ func TestAttributeProfileKinds(t *testing.T) {
 	for src, want := range cases {
 		if kindOf(src) != want {
 			t.Fatalf("kindOf(%s) = %v", src, kindOf(src))
+		}
+	}
+}
+
+func TestTracerDropAccounting(t *testing.T) {
+	old := telemetry.SetDefault(telemetry.NewSink())
+	defer telemetry.SetDefault(old)
+
+	tr := NewTracer(4)
+	tr.Enable()
+	for i := 0; i < 6; i++ {
+		tr.Record(sim.Time(i*10), 0, "churner", kernel.KworkerTask, time.Microsecond)
+	}
+	if got := len(tr.Events()); got != 4 {
+		t.Fatalf("buffer holds %d events, want 4", got)
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	// Oldest events were discarded: the window starts at the third record.
+	if tr.Events()[0].At != sim.Time(20) {
+		t.Fatalf("oldest retained event at %v, want 20ns", tr.Events()[0].At)
+	}
+	reg := telemetry.Default().Registry()
+	if got := reg.CounterValue("linux.ftrace.dropped"); got != 2 {
+		t.Fatalf("shared drop counter = %d, want 2", got)
+	}
+	if got := reg.CounterValue("linux.ftrace.events"); got != 6 {
+		t.Fatalf("shared event counter = %d, want 6", got)
+	}
+}
+
+func TestTracerForwardsToRecorder(t *testing.T) {
+	old := telemetry.SetDefault(telemetry.NewSink())
+	defer telemetry.SetDefault(old)
+	telemetry.Default().Recorder().Enable()
+
+	tr := NewTracer(16)
+	tr.Node = 3
+	tr.Enable()
+	tr.Record(sim.Time(100), 2, "kworker/2:1", kernel.KworkerTask, 50*time.Microsecond)
+	rec := telemetry.Default().Recorder()
+	if rec.Len() != 1 {
+		t.Fatalf("recorder holds %d events, want 1", rec.Len())
+	}
+	var b strings.Builder
+	if err := rec.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"cat":"linux"`, `"name":"kworker/2:1"`, `"pid":3`, `"tid":2`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace export missing %s:\n%s", want, out)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"mkos/internal/cpu"
 	"mkos/internal/sim"
+	"mkos/internal/telemetry"
 )
 
 // TCSCollector models the Fujitsu Technical Computing Suite job-operation
@@ -76,6 +77,8 @@ func (t *TCSCollector) collect(at sim.Time) {
 		s.FPOps += snap.FPOps
 		t.readOps++
 	}
+	telemetry.C("linux.tcs.pmu_reads").Add(int64(len(t.pmus)))
+	telemetry.Instant("linux", "tcs-pmu-sweep", 0, 0, at)
 	for _, p := range t.pmus {
 		s.MemReads += p.MemReads
 		s.MemWrites += p.MemWrites

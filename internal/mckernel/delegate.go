@@ -6,6 +6,7 @@ import (
 
 	"mkos/internal/kernel"
 	"mkos/internal/sim"
+	"mkos/internal/telemetry"
 )
 
 // Delegator executes system calls as discrete events on a simulation
@@ -23,6 +24,10 @@ type Delegator struct {
 	inst   *Instance
 	engine *sim.Engine
 
+	// Node is the global node index used to key telemetry trace events; zero
+	// for single-node experiments.
+	Node int
+
 	// proxyBusyUntil serializes delegated calls through the single-threaded
 	// proxy event loop.
 	proxyBusyUntil sim.Time
@@ -37,6 +42,9 @@ func NewDelegator(inst *Instance, engine *sim.Engine) *Delegator {
 	return &Delegator{inst: inst, engine: engine}
 }
 
+// proxyQueueBuckets buckets proxy queueing delay in microseconds.
+var proxyQueueBuckets = telemetry.ExpBuckets(0.5, 2, 12)
+
 // Issue schedules syscall sc from thread th at the current simulated time;
 // done is invoked when the call completes, with the thread runnable again.
 // The thread must be running.
@@ -48,7 +56,11 @@ func (d *Delegator) Issue(th *Thread, sc kernel.Syscall, done func(at sim.Time))
 		// Served in the LWK: the thread never blocks, the call is pure
 		// service time on its own core.
 		d.localCalls++
+		telemetry.C("mckernel.syscall.local").Inc()
 		cost := localSyscallCosts().Cost(sc)
+		if telemetry.TraceEnabled() {
+			telemetry.Span("mckernel", "lwk:"+sc.String(), d.Node, th.Core, d.engine.Now(), cost)
+		}
 		d.engine.Schedule(cost, "lwk:"+sc.String(), func(e *sim.Engine) {
 			done(e.Now())
 		})
@@ -56,6 +68,8 @@ func (d *Delegator) Issue(th *Thread, sc kernel.Syscall, done func(at sim.Time))
 	}
 	// Delegated: block the thread, ride the IKC, queue at the proxy.
 	d.delegatedCalls++
+	telemetry.C("mckernel.syscall.delegated").Inc()
+	telemetry.C("mckernel.ikc.messages").Add(2) // request + response crossing
 	if err := d.inst.Scheduler.Block(th); err != nil {
 		return err
 	}
@@ -63,12 +77,20 @@ func (d *Delegator) Issue(th *Thread, sc kernel.Syscall, done func(at sim.Time))
 	arriveAtProxy := d.engine.Now().Add(ikc.OneWay + ikc.WakeLatency)
 	start := arriveAtProxy
 	if d.proxyBusyUntil.After(start) {
-		d.queueingTime += d.proxyBusyUntil.Sub(start)
+		queued := d.proxyBusyUntil.Sub(start)
+		d.queueingTime += queued
+		telemetry.H("mckernel.proxy.queueing_us", proxyQueueBuckets).
+			Observe(float64(queued) / float64(time.Microsecond))
 		start = d.proxyBusyUntil
 	}
 	service := d.inst.Host.SyscallCosts().Cost(sc)
 	d.proxyBusyUntil = start.Add(service)
 	finish := d.proxyBusyUntil.Add(ikc.OneWay)
+	if telemetry.TraceEnabled() {
+		now := d.engine.Now()
+		telemetry.Span("mckernel", "offload:"+sc.String(), d.Node, th.Core, now, finish.Sub(now),
+			telemetry.Arg{Key: "tid", Val: fmt.Sprint(th.TID)})
+	}
 	d.engine.ScheduleAt(finish, "proxy:"+sc.String(), func(e *sim.Engine) {
 		// Response arrived: wake the thread on its core.
 		if err := d.inst.Scheduler.Wake(th); err != nil {

@@ -18,6 +18,7 @@ import (
 	"mkos/internal/linux"
 	"mkos/internal/mem"
 	"mkos/internal/noise"
+	"mkos/internal/telemetry"
 )
 
 // Config selects optional McKernel features.
@@ -71,6 +72,7 @@ var ErrKernelPanic = errors.New("mckernel: kernel panic")
 func (in *Instance) Panic(reason string) error {
 	in.panicked = true
 	in.panicReason = reason
+	telemetry.C("mckernel.panics").Inc()
 	return fmt.Errorf("%w: %s", ErrKernelPanic, reason)
 }
 
@@ -274,7 +276,7 @@ const (
 // partition cores.
 func (in *Instance) NoiseProfile() *noise.Profile {
 	cores := in.Part.Cores
-	p := &noise.Profile{}
+	p := &noise.Profile{Subsystem: "mckernel"}
 	ikcLen, hwLen, hwCV := ikcLength, hwShareLength, hwShareLenCV
 	if in.Host.Topo.ISA == cpu.X86_64 {
 		ikcLen, hwLen, hwCV = ofpIkcLength, ofpHwShareLength, ofpHwShareCV

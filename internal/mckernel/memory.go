@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mkos/internal/mem"
+	"mkos/internal/telemetry"
 )
 
 // Memory is McKernel's physical memory manager over the IHK partition: a
@@ -74,15 +75,19 @@ func (m *Memory) Alloc(size int64) (int64, error) {
 	}
 	if m.AllocHook != nil {
 		if err := m.AllocHook(size); err != nil {
+			telemetry.C("mckernel.mem.alloc_failures").Inc()
 			return 0, err
 		}
 	}
 	size = mem.Page2M.Align(size)
+	telemetry.C("mckernel.mem.alloc_calls").Inc()
 	if list := m.freeLists[size]; len(list) > 0 {
 		base := list[len(list)-1]
 		m.freeLists[size] = list[:len(list)-1]
 		m.allocated += size
 		m.live[base] = size
+		telemetry.C("mckernel.mem.freelist_hits").Inc()
+		telemetry.C("mckernel.mem.alloc_bytes").Add(size)
 		return base, nil
 	}
 	for m.cursor < len(m.regions) {
@@ -92,11 +97,13 @@ func (m *Memory) Alloc(size int64) (int64, error) {
 			m.offset += size
 			m.allocated += size
 			m.live[base] = size
+			telemetry.C("mckernel.mem.alloc_bytes").Add(size)
 			return base, nil
 		}
 		m.cursor++
 		m.offset = 0
 	}
+	telemetry.C("mckernel.mem.alloc_failures").Inc()
 	return 0, fmt.Errorf("%w: want %d bytes, %d allocated of %d", ErrLWKOutOfMemory, size, m.allocated, m.total)
 }
 
@@ -118,6 +125,7 @@ func (m *Memory) Free(base, size int64) error {
 	delete(m.live, base)
 	m.freeLists[size] = append(m.freeLists[size], base)
 	m.allocated -= size
+	telemetry.C("mckernel.mem.free_calls").Inc()
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mkos/internal/sim"
+	"mkos/internal/telemetry"
 )
 
 // Interruption is one episode of stolen CPU time on one core.
@@ -142,6 +143,10 @@ func (s *Source) Generate(horizon time.Duration, rng *sim.Rand) []Interruption {
 // Profile is a node's complete noise description: the set of active sources.
 type Profile struct {
 	Sources []*Source
+	// Subsystem labels the owning OS model ("linux", "mckernel") so the
+	// telemetry counters this profile emits are attributable; empty means
+	// the generic "noise" namespace.
+	Subsystem string
 }
 
 // Add appends a source after validation.
@@ -177,10 +182,21 @@ func (p *Profile) ByName(name string) *Source {
 // one-countermeasure-at-a-time methodology to isolate effects.
 func (p *Profile) Timeline(horizon time.Duration, rng *sim.Rand) *Timeline {
 	tl := &Timeline{perCPU: make(map[int][]Interruption)}
+	sub := p.Subsystem
+	if sub == "" {
+		sub = "noise"
+	}
 	for _, s := range p.Sources {
 		srcRng := rng.DeriveNamed(s.Name)
-		for _, iv := range s.Generate(horizon, srcRng) {
+		events := s.Generate(horizon, srcRng)
+		var stolen time.Duration
+		for _, iv := range events {
 			tl.perCPU[iv.CPU] = append(tl.perCPU[iv.CPU], iv)
+			stolen += iv.Len
+		}
+		if len(events) > 0 {
+			telemetry.C(sub + ".noise.events." + s.Name).Add(int64(len(events)))
+			telemetry.C(sub + ".noise.stolen_ns").Add(int64(stolen))
 		}
 	}
 	for cpu := range tl.perCPU {

@@ -4,6 +4,9 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"runtime"
+	"strings"
+	"time"
 )
 
 // Event is a scheduled callback. Events fire in (At, seq) order: ties on the
@@ -12,11 +15,33 @@ import (
 type Event struct {
 	At   Time
 	Fn   func(e *Engine)
-	Name string // optional label, used in traces and error messages
+	Name string // optional label, consumed by the engine observer and traces
 
 	seq   uint64
-	index int  // heap index; -1 once popped or cancelled
-	dead  bool // set by Cancel
+	index int    // heap index; -1 once popped or cancelled
+	dead  bool   // set by Cancel
+	sub   string // callsite subsystem, filled for unnamed events when observed
+}
+
+// Label returns the name the observer aggregates this event under: the
+// explicit Name when set, otherwise the callsite subsystem captured at
+// scheduling time (e.g. "(mckernel)").
+func (ev *Event) Label() string {
+	if ev.Name != "" {
+		return ev.Name
+	}
+	if ev.sub != "" {
+		return ev.sub
+	}
+	return "(unnamed)"
+}
+
+// Observer watches engine dispatch. ObserveEvent runs after each event's
+// handler with the event's label, its firing instant, the host wall time the
+// handler consumed, and the pending-queue depth at dispatch. Wall times are
+// host measurements — profiling data, never simulation state.
+type Observer interface {
+	ObserveEvent(label string, at Time, wall Duration, pending int)
 }
 
 // Cancelled reports whether the event was cancelled before firing.
@@ -55,11 +80,13 @@ func (h *eventHeap) Pop() any {
 // concurrent use; model-level parallelism is expressed as interleaved events,
 // not goroutines, so results stay deterministic.
 type Engine struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	stopped bool
-	fired   uint64
+	now      Time
+	queue    eventHeap
+	seq      uint64
+	stopped  bool
+	fired    uint64
+	maxQueue int
+	observer Observer
 }
 
 // NewEngine returns an engine with its clock at zero.
@@ -76,6 +103,15 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// QueueHighWater returns the largest queue depth the engine has held — the
+// capacity-planning number for the event heap.
+func (e *Engine) QueueHighWater() int { return e.maxQueue }
+
+// SetObserver installs (or clears, with nil) the dispatch observer. With an
+// observer attached the engine measures per-handler host wall time and labels
+// unnamed events by their scheduling callsite's subsystem.
+func (e *Engine) SetObserver(o Observer) { e.observer = o }
+
 // ErrPastEvent is returned by ScheduleAt when the requested instant precedes
 // the current clock.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
@@ -88,8 +124,42 @@ func (e *Engine) ScheduleAt(at Time, name string, fn func(*Engine)) *Event {
 	}
 	e.seq++
 	ev := &Event{At: at, Fn: fn, Name: name, seq: e.seq}
+	if name == "" && e.observer != nil {
+		ev.sub = callerSubsystem()
+	}
 	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.maxQueue {
+		e.maxQueue = len(e.queue)
+	}
 	return ev
+}
+
+// callerSubsystem walks up the stack past the sim package and returns the
+// first foreign caller's package name, parenthesized — the aggregation key
+// for events scheduled without a name.
+func callerSubsystem() string {
+	var pcs [8]uintptr
+	n := runtime.Callers(2, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		f, more := frames.Next()
+		if f.Function != "" && !strings.Contains(f.Function, "mkos/internal/sim.") {
+			// f.Function looks like "mkos/internal/mckernel.(*Delegator).Issue"
+			// or "main.main"; the package name is the segment between the last
+			// slash and the next dot.
+			fn := f.Function
+			if i := strings.LastIndexByte(fn, '/'); i >= 0 {
+				fn = fn[i+1:]
+			}
+			if i := strings.IndexByte(fn, '.'); i >= 0 {
+				fn = fn[:i]
+			}
+			return "(" + fn + ")"
+		}
+		if !more {
+			return "(unnamed)"
+		}
+	}
 }
 
 // Schedule enqueues fn to run after delay d.
@@ -118,6 +188,14 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.At
 	e.fired++
+	if obs := e.observer; obs != nil {
+		start := time.Now()
+		if ev.Fn != nil {
+			ev.Fn(e)
+		}
+		obs.ObserveEvent(ev.Label(), ev.At, time.Since(start), len(e.queue))
+		return true
+	}
 	if ev.Fn != nil {
 		ev.Fn(e)
 	}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// captureObs records every dispatch the engine reports.
+type captureObs struct {
+	labels   []string
+	ats      []Time
+	pendings []int
+}
+
+func (o *captureObs) ObserveEvent(label string, at Time, wall Duration, pending int) {
+	o.labels = append(o.labels, label)
+	o.ats = append(o.ats, at)
+	o.pendings = append(o.pendings, pending)
+}
+
+func TestEngineObserverSeesEveryDispatch(t *testing.T) {
+	e := NewEngine()
+	obs := &captureObs{}
+	e.SetObserver(obs)
+	e.Schedule(10*Nanosecond, "first", func(*Engine) {})
+	e.Schedule(20*Nanosecond, "second", func(*Engine) {})
+	e.Schedule(30*Nanosecond, "", func(*Engine) {})
+	e.Run()
+
+	if len(obs.labels) != 3 {
+		t.Fatalf("observed %d events, want 3", len(obs.labels))
+	}
+	if obs.labels[0] != "first" || obs.labels[1] != "second" {
+		t.Fatalf("labels = %v", obs.labels[:2])
+	}
+	// Unnamed events aggregate under their scheduling callsite's package.
+	if !strings.HasPrefix(obs.labels[2], "(") || !strings.HasSuffix(obs.labels[2], ")") {
+		t.Fatalf("unnamed label = %q, want parenthesized subsystem", obs.labels[2])
+	}
+	if obs.ats[0] != Time(10) || obs.ats[2] != Time(30) {
+		t.Fatalf("ats = %v", obs.ats)
+	}
+	// Pending depth at dispatch: two left, then one, then none.
+	for i, want := range []int{2, 1, 0} {
+		if obs.pendings[i] != want {
+			t.Fatalf("pending[%d] = %d, want %d", i, obs.pendings[i], want)
+		}
+	}
+}
+
+func TestEngineQueueHighWater(t *testing.T) {
+	e := NewEngine()
+	if e.QueueHighWater() != 0 {
+		t.Fatalf("fresh engine HWM = %d", e.QueueHighWater())
+	}
+	for i := 0; i < 5; i++ {
+		e.Schedule(Duration(i+1)*Nanosecond, "ev", func(*Engine) {})
+	}
+	e.Run()
+	if e.QueueHighWater() != 5 {
+		t.Fatalf("HWM = %d, want 5", e.QueueHighWater())
+	}
+	// Nested scheduling from a handler can push the mark higher later.
+	e.Schedule(Nanosecond, "spawner", func(en *Engine) {
+		for i := 0; i < 8; i++ {
+			en.Schedule(Duration(i+1)*Nanosecond, "child", func(*Engine) {})
+		}
+	})
+	e.Run()
+	if e.QueueHighWater() != 8 {
+		t.Fatalf("HWM after nested burst = %d, want 8", e.QueueHighWater())
+	}
+}
+
+func TestEngineObserverDetached(t *testing.T) {
+	e := NewEngine()
+	obs := &captureObs{}
+	e.SetObserver(obs)
+	e.SetObserver(nil)
+	ev := e.Schedule(Nanosecond, "", func(*Engine) {})
+	e.Run()
+	if len(obs.labels) != 0 {
+		t.Fatalf("detached observer saw %d events", len(obs.labels))
+	}
+	// Without an observer the engine must not pay for callsite capture.
+	if ev.sub != "" {
+		t.Fatalf("callsite captured without observer: %q", ev.sub)
+	}
+}

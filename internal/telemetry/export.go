@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+)
+
+// Export helpers for the command binaries: each writes one artifact from the
+// default sink to a file. Paths are only touched when non-empty, so commands
+// can pass flag values straight through.
+
+// WriteMetricsFile dumps the default registry's deterministic text format.
+func WriteMetricsFile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := Default().Registry().WriteTo(f); err != nil {
+		return fmt.Errorf("telemetry: writing metrics to %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteTraceFile dumps the default recorder as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing. Call EnableTrace first or the
+// file will hold no events.
+func WriteTraceFile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Default().Recorder().WriteChromeTrace(f); err != nil {
+		return fmt.Errorf("telemetry: writing trace to %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteProfileFile dumps the default engine profiler's per-handler report.
+// The report contains host wall times and is NOT deterministic across runs —
+// it never belongs next to the metrics dump in a regression diff.
+func WriteProfileFile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := Default().Profiler().WriteTo(f); err != nil {
+		return fmt.Errorf("telemetry: writing profile to %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// EnableTrace switches the default recorder on; commands call it as soon as
+// flags are parsed so every span from the run lands in the buffer.
+func EnableTrace() { Default().Recorder().Enable() }

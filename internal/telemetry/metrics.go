@@ -1,0 +1,297 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value metric with a high-water helper.
+type Gauge struct {
+	mu  sync.Mutex
+	v   float64
+	set bool
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v, g.set = v, true
+	g.mu.Unlock()
+}
+
+// SetMax records v only if it exceeds the current value (high-water mark).
+func (g *Gauge) SetMax(v float64) {
+	g.mu.Lock()
+	if !g.set || v > g.v {
+		g.v, g.set = v, true
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: observations land in the first
+// bucket whose upper bound is >= the value, with an implicit +Inf bucket at
+// the end. Bounds are fixed at creation so two same-seed runs always produce
+// identical bucket layouts — the byte-determinism of the metrics dump depends
+// on it.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds
+	counts []int64   // len(bounds)+1; last is +Inf
+	sum    float64
+	n      int64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the containing bucket; the extreme buckets interpolate against the
+// observed min/max, so narrow distributions are not smeared to the bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.n)
+	var cum float64
+	lo := h.min
+	for i, c := range h.counts {
+		hi := h.max
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		}
+		if hi > h.max {
+			hi = h.max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		if c > 0 {
+			if cum+float64(c) >= target {
+				frac := (target - cum) / float64(c)
+				return lo + frac*(hi-lo)
+			}
+			cum += float64(c)
+		}
+		if i < len(h.bounds) && h.bounds[i] > lo {
+			lo = h.bounds[i]
+			if lo < h.min {
+				lo = h.min
+			}
+		}
+	}
+	return h.max
+}
+
+// ExpBuckets returns n ascending bounds starting at start, multiplied by
+// factor each step — the standard latency-bucket layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Get-or-create accessors make
+// call sites self-registering; the text dump is byte-deterministic (sorted
+// names, fixed formatting, no map-iteration order anywhere).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use. Later calls reuse the existing buckets regardless of bounds,
+// so the layout is fixed by the first caller.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue returns the named counter's value, 0 if absent — a test and
+// report convenience that avoids creating metrics as a side effect.
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// WriteTo renders the deterministic text dump: one line per metric, grouped
+// by type, each group sorted by name. Two same-seed simulation runs must
+// produce byte-identical dumps (guarded by the determinism test); nothing
+// wall-clock-derived may ever be recorded into a Registry.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var written int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		written += int64(n)
+		return err
+	}
+	if err := emit("# mkos metrics v1\n"); err != nil {
+		return written, err
+	}
+	for _, name := range sortedKeys(r.counters) {
+		if err := emit("counter %s %d\n", name, r.counters[name].Value()); err != nil {
+			return written, err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		if err := emit("gauge %s %g\n", name, r.gauges[name].Value()); err != nil {
+			return written, err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		h.mu.Lock()
+		if err := emit("histogram %s count=%d sum=%g", name, h.n, h.sum); err != nil {
+			h.mu.Unlock()
+			return written, err
+		}
+		for i, c := range h.counts {
+			label := "+Inf"
+			if i < len(h.bounds) {
+				label = fmt.Sprintf("%g", h.bounds[i])
+			}
+			if err := emit(" %s:%d", label, c); err != nil {
+				h.mu.Unlock()
+				return written, err
+			}
+		}
+		h.mu.Unlock()
+		if err := emit("\n"); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

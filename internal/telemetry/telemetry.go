@@ -1,0 +1,107 @@
+// Package telemetry is the unified observability substrate of the simulator:
+// a metrics registry (counters, gauges, fixed-bucket histograms) with a
+// byte-deterministic text dump, a sim-time trace recorder exporting Chrome
+// trace_event JSON (opens in Perfetto / chrome://tracing), and an engine
+// profiler for simulator hot spots.
+//
+// The paper's methodology is exactly this kind of whole-stack observability:
+// Sec. 4.2.1 attributes noise to its source with ftrace and execution-time
+// profiling, and Eqs. 1-2 quantify what was observed. The instrumented
+// subsystems (sim, mckernel, linux, cluster, fault, bsp, noise) all publish
+// into one shared Sink so cross-layer questions — "how many syscall
+// offloads, page faults and IKC round trips did this job cost, and where did
+// the wall time go?" — have one answer surface.
+//
+// Determinism contract: everything recorded into the Registry and the
+// Recorder derives from simulated time and seeded randomness only. Host
+// wall-clock measurements exist solely in the Profiler report. Two runs with
+// the same seed produce byte-identical metrics dumps and trace JSON
+// (enforced by the determinism regression test).
+package telemetry
+
+import (
+	"sync"
+
+	"mkos/internal/sim"
+)
+
+// Sink bundles the three telemetry surfaces. Components reach the process
+// default through the package-level helpers; experiments that need isolation
+// (tests, repeated in-process runs) swap it with SetDefault or Reset.
+type Sink struct {
+	reg  *Registry
+	rec  *Recorder
+	prof *Profiler
+}
+
+// NewSink builds an empty sink with tracing disabled.
+func NewSink() *Sink {
+	reg := NewRegistry()
+	return &Sink{reg: reg, rec: NewRecorder(0), prof: NewProfiler(reg)}
+}
+
+// Registry returns the sink's metrics registry.
+func (s *Sink) Registry() *Registry { return s.reg }
+
+// Recorder returns the sink's trace recorder.
+func (s *Sink) Recorder() *Recorder { return s.rec }
+
+// Profiler returns the sink's engine profiler.
+func (s *Sink) Profiler() *Profiler { return s.prof }
+
+// AttachEngine wires the sink's profiler into an engine's dispatch loop.
+func (s *Sink) AttachEngine(e *sim.Engine) { s.prof.Attach(e) }
+
+var (
+	defaultMu sync.RWMutex
+	std       = NewSink()
+)
+
+// Default returns the process-wide sink.
+func Default() *Sink {
+	defaultMu.RLock()
+	defer defaultMu.RUnlock()
+	return std
+}
+
+// SetDefault replaces the process-wide sink and returns the previous one.
+func SetDefault(s *Sink) *Sink {
+	if s == nil {
+		s = NewSink()
+	}
+	defaultMu.Lock()
+	old := std
+	std = s
+	defaultMu.Unlock()
+	return old
+}
+
+// Reset installs a fresh empty sink, returning the previous one. Tests and
+// repeated in-process experiment runs use it to start from zero.
+func Reset() *Sink { return SetDefault(NewSink()) }
+
+// C returns the named counter from the default sink.
+func C(name string) *Counter { return Default().reg.Counter(name) }
+
+// G returns the named gauge from the default sink.
+func G(name string) *Gauge { return Default().reg.Gauge(name) }
+
+// H returns the named histogram from the default sink.
+func H(name string, bounds []float64) *Histogram { return Default().reg.Histogram(name, bounds) }
+
+// Span records a complete span on the default sink's recorder.
+func Span(cat, name string, node, cpu int, start sim.Time, dur sim.Duration, args ...Arg) {
+	Default().rec.Span(cat, name, node, cpu, start, dur, args...)
+}
+
+// Instant records a point event on the default sink's recorder.
+func Instant(cat, name string, node, cpu int, at sim.Time, args ...Arg) {
+	Default().rec.Instant(cat, name, node, cpu, at, args...)
+}
+
+// TraceEnabled reports whether the default recorder is capturing; hot paths
+// can use it to skip building span arguments entirely.
+func TraceEnabled() bool { return Default().rec.Enabled() }
+
+// AttachEngine wires the default profiler into an engine.
+func AttachEngine(e *sim.Engine) { Default().AttachEngine(e) }

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mkos/internal/sim"
+)
+
+// Arg is one key/value annotation on a trace event. Args are an ordered
+// slice, not a map, so the JSON export is byte-deterministic.
+type Arg struct {
+	Key, Val string
+}
+
+// traceEvent is one recorded span or instant on the simulated clock.
+type traceEvent struct {
+	ph   byte // 'X' complete span, 'i' instant
+	cat  string
+	name string
+	pid  int // node index
+	tid  int // CPU index
+	ts   sim.Time
+	dur  sim.Duration
+	args []Arg
+}
+
+// Recorder is the sim-time trace recorder: spans and instant events keyed by
+// (node, CPU, subsystem), held in a bounded ring buffer with ftrace-style
+// overwrite semantics — when full the oldest event is dropped and the drop is
+// counted, never silently discarded. Exports Chrome trace_event JSON that
+// opens directly in Perfetto or chrome://tracing.
+//
+// Recording is disabled until Enable is called, so the instrumented hot paths
+// cost one atomic boolean load when tracing is off.
+type Recorder struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	cap     int
+	buf     []traceEvent
+	head    int // overwrite cursor once the buffer is full
+	full    bool
+	dropped int64
+}
+
+// DefaultTraceCapacity bounds the ring buffer when Enable is given n <= 0.
+const DefaultTraceCapacity = 1 << 18
+
+// NewRecorder returns a disabled recorder with the given ring capacity
+// (<= 0 selects DefaultTraceCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Enable starts recording.
+func (r *Recorder) Enable() { r.enabled.Store(true) }
+
+// Disable stops recording; the buffer is retained for export.
+func (r *Recorder) Disable() { r.enabled.Store(false) }
+
+// Enabled reports whether events are being recorded.
+func (r *Recorder) Enabled() bool { return r.enabled.Load() }
+
+// Dropped returns the number of events overwritten by ring wraparound.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return r.cap
+	}
+	return len(r.buf)
+}
+
+// Span records a complete slice of simulated time on (node, cpu): cat is the
+// owning subsystem ("mckernel", "cluster", ...), name the operation.
+func (r *Recorder) Span(cat, name string, node, cpu int, start sim.Time, dur sim.Duration, args ...Arg) {
+	r.record(traceEvent{ph: 'X', cat: cat, name: name, pid: node, tid: cpu, ts: start, dur: dur, args: args})
+}
+
+// Instant records a point event at the given simulated instant.
+func (r *Recorder) Instant(cat, name string, node, cpu int, at sim.Time, args ...Arg) {
+	r.record(traceEvent{ph: 'i', cat: cat, name: name, pid: node, tid: cpu, ts: at, args: args})
+}
+
+func (r *Recorder) record(ev traceEvent) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.head] = ev
+	r.head = (r.head + 1) % r.cap
+	r.full = true
+	r.dropped++
+}
+
+// snapshot returns the buffered events oldest first.
+func (r *Recorder) snapshot() []traceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]traceEvent(nil), r.buf...)
+	}
+	out := make([]traceEvent, 0, r.cap)
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// WriteChromeTrace renders the buffer as Chrome trace_event JSON ("JSON
+// object format": a traceEvents array). Timestamps are microseconds, the
+// trace_event unit; pid is the node index and tid the CPU, so Perfetto's
+// process/thread tracks become node/CPU tracks. Field order is fixed and
+// args are an ordered slice, so the output is byte-deterministic for a
+// deterministic simulation.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.snapshot()
+	bw := &errWriter{w: w}
+	bw.printf(`{"traceEvents":[`)
+	// Process-name metadata so Perfetto labels node tracks.
+	pids := map[int]bool{}
+	for _, ev := range events {
+		pids[ev.pid] = true
+	}
+	sortedPids := make([]int, 0, len(pids))
+	for p := range pids {
+		sortedPids = append(sortedPids, p)
+	}
+	sort.Ints(sortedPids)
+	first := true
+	for _, p := range sortedPids {
+		if !first {
+			bw.printf(",")
+		}
+		first = false
+		bw.printf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			p, jsonString(fmt.Sprintf("node %d", p)))
+	}
+	for _, ev := range events {
+		if !first {
+			bw.printf(",")
+		}
+		first = false
+		bw.printf(`{"name":%s,"cat":%s,"ph":"%c","ts":%.3f,`,
+			jsonString(ev.name), jsonString(ev.cat), ev.ph, float64(ev.ts)/1e3)
+		if ev.ph == 'X' {
+			bw.printf(`"dur":%.3f,`, float64(ev.dur)/1e3)
+		}
+		if ev.ph == 'i' {
+			bw.printf(`"s":"t",`)
+		}
+		bw.printf(`"pid":%d,"tid":%d`, ev.pid, ev.tid)
+		if len(ev.args) > 0 {
+			bw.printf(`,"args":{`)
+			for i, a := range ev.args {
+				if i > 0 {
+					bw.printf(",")
+				}
+				bw.printf("%s:%s", jsonString(a.Key), jsonString(a.Val))
+			}
+			bw.printf("}")
+		}
+		bw.printf("}")
+	}
+	bw.printf(`],"displayTimeUnit":"ms"}`)
+	bw.printf("\n")
+	return bw.err
+}
+
+// jsonString encodes s as a JSON string literal.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Strings cannot fail to marshal; keep the exporter total anyway.
+		return `"?"`
+	}
+	return string(b)
+}
+
+// errWriter folds write errors so the exporter body stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

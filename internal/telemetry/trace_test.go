@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mkos/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fillRecorder records a fixed event mix: two nodes, spans with and without
+// args, and an instant event.
+func fillRecorder(r *Recorder) {
+	r.Enable()
+	r.Span("mckernel", "offload:open", 0, 2, sim.Time(1500), 2500,
+		Arg{Key: "tid", Val: "1001"})
+	r.Span("linux", "kworker/3:1", 1, 3, sim.Time(4000), 300)
+	r.Instant("fault", "fault:lwk-panic", 1, 0, sim.Time(9000))
+	r.Span("cluster", `job "7"/a0`, 0, 0, sim.Time(0), 12000) // quoting exercised
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	r := NewRecorder(16)
+	fillRecorder(r)
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s: %v (regenerate with go test -run TestChromeTraceGolden -update)", golden, err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("exporter output changed:\ngot:  %s\nwant: %s", b.Bytes(), want)
+	}
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	r := NewRecorder(16)
+	fillRecorder(r)
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("exporter produced invalid JSON: %s", b.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	var spans, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		for _, field := range []string{"ph", "ts", "pid", "tid", "name"} {
+			if _, ok := ev[field]; !ok && ev["ph"] != "M" {
+				t.Fatalf("event missing %q: %v", field, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("span without dur: %v", ev)
+			}
+			if _, ok := ev["cat"]; !ok {
+				t.Fatalf("span without cat: %v", ev)
+			}
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Fatalf("instant without thread scope: %v", ev)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans != 3 || instants != 1 {
+		t.Fatalf("spans=%d instants=%d, want 3/1", spans, instants)
+	}
+	if meta != 2 { // two distinct pids -> two process_name records
+		t.Fatalf("metadata events = %d, want 2", meta)
+	}
+	// ts is microseconds: the 1500 ns span must surface as 1.5.
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "offload:open" {
+			if ts := ev["ts"].(float64); ts != 1.5 {
+				t.Fatalf("ts = %v us, want 1.5", ts)
+			}
+			if dur := ev["dur"].(float64); dur != 2.5 {
+				t.Fatalf("dur = %v us, want 2.5", dur)
+			}
+			if ev["args"].(map[string]any)["tid"] != "1001" {
+				t.Fatalf("args = %v", ev["args"])
+			}
+		}
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	r := NewRecorder(4)
+	r.Enable()
+	for i := 0; i < 6; i++ {
+		r.Instant("sim", "ev", 0, 0, sim.Time(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+	// Oldest events were overwritten: the snapshot starts at ts=2.
+	evs := r.snapshot()
+	if evs[0].ts != sim.Time(2) || evs[len(evs)-1].ts != sim.Time(5) {
+		t.Fatalf("snapshot window = [%v, %v], want [2ns, 5ns]", evs[0].ts, evs[len(evs)-1].ts)
+	}
+}
+
+func TestRecorderDisabledIsFree(t *testing.T) {
+	r := NewRecorder(4)
+	r.Span("x", "y", 0, 0, 0, 0)
+	r.Instant("x", "y", 0, 0, 0)
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("disabled recorder captured events")
+	}
+	r.Enable()
+	r.Span("x", "y", 0, 0, 0, 0)
+	r.Disable()
+	r.Span("x", "z", 0, 0, 0, 0)
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (only the enabled-window event)", r.Len())
+	}
+}
