@@ -1,6 +1,8 @@
 GO ?= go
+J ?= 0
+SWEEP_SPEC ?= specs/ci-sweep.json
 
-.PHONY: all build fmt vet test race check determinism
+.PHONY: all build fmt vet test race check determinism sweep sweep-race sweep-determinism bench-sweep
 
 all: check
 
@@ -21,6 +23,37 @@ test:
 race:
 	$(GO) test -race ./...
 
+# sweep runs the declarative campaign in SWEEP_SPEC over J workers (0 = all
+# cores), caching trial results in .sweepcache so re-runs execute only
+# changed trials. Artifacts land in sweep-out/.
+sweep:
+	$(GO) run ./cmd/sweep -spec $(SWEEP_SPEC) -j $(J) -cache-dir .sweepcache -outdir sweep-out
+
+# sweep-race runs the orchestrator's own tests under the race detector.
+sweep-race:
+	$(GO) test -race ./internal/sweep/...
+
+# sweep-determinism asserts the subsystem's contract end to end: a parallel
+# cached run, a serial uncached run and a warm-cache re-run must produce
+# byte-identical results.json and metrics.txt, and the warm re-run must
+# execute zero trials.
+sweep-determinism:
+	rm -rf /tmp/mkos-sweep-cache /tmp/mkos-sweep-j8 /tmp/mkos-sweep-j1 /tmp/mkos-sweep-warm
+	$(GO) run ./cmd/sweep -spec $(SWEEP_SPEC) -j 8 -cache-dir /tmp/mkos-sweep-cache -outdir /tmp/mkos-sweep-j8
+	$(GO) run ./cmd/sweep -spec $(SWEEP_SPEC) -j 1 -outdir /tmp/mkos-sweep-j1
+	$(GO) run ./cmd/sweep -spec $(SWEEP_SPEC) -j 8 -cache-dir /tmp/mkos-sweep-cache -outdir /tmp/mkos-sweep-warm \
+		| tee /tmp/mkos-sweep-warm-summary.txt
+	grep -q ": 0 executed," /tmp/mkos-sweep-warm-summary.txt
+	cmp /tmp/mkos-sweep-j8/results.json /tmp/mkos-sweep-j1/results.json
+	cmp /tmp/mkos-sweep-j8/metrics.txt /tmp/mkos-sweep-j1/metrics.txt
+	cmp /tmp/mkos-sweep-j8/results.json /tmp/mkos-sweep-warm/results.json
+	cmp /tmp/mkos-sweep-j8/metrics.txt /tmp/mkos-sweep-warm/metrics.txt
+	@echo "sweep artifacts byte-identical at -j 8, -j 1 and from warm cache (0 trials executed)"
+
+# bench-sweep records the orchestrator's scaling benchmarks (serial vs -j N).
+bench-sweep:
+	$(GO) test -run '^$$' -bench BenchmarkCampaign -benchtime 3x ./internal/sweep/
+
 # determinism runs the fault-injection sweep twice with telemetry artifacts
 # enabled and fails on any byte difference — the metrics dump and trace JSON
 # must be identical for identical seeds.
@@ -34,5 +67,5 @@ determinism:
 	@echo "telemetry artifacts byte-identical across runs"
 
 # check is what CI runs: formatting, vet, build, the full suite under the
-# race detector, and the telemetry determinism double-run.
-check: fmt vet build race determinism
+# race detector, and both determinism gates.
+check: fmt vet build race determinism sweep-determinism

@@ -6,85 +6,27 @@
 // reservation failures — together with the recovery policy (capped-backoff
 // retry, node blacklisting, graceful degradation to native Linux).
 //
-// The experiment is fully deterministic: the same seed produces the same
-// fault schedule and a byte-identical failure report.
+// The sweep points are independent trials and run in parallel on the sweep
+// orchestrator; the experiment stays fully deterministic: the same seed
+// produces the same fault schedule and byte-identical output at any -j.
 //
 // Usage:
 //
 //	faultexp [-platform fugaku|ofp] [-jobs 6] [-nodes 8] [-seed 42] [-report]
+//	         [-j N] [-cache-dir DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"time"
+	"os"
 
-	"mkos/internal/bsp"
 	"mkos/internal/cluster"
-	"mkos/internal/fault"
+	"mkos/internal/sweep"
+	"mkos/internal/sweep/campaigns"
 	"mkos/internal/telemetry"
 )
-
-// baseRates is the 1x point of the sweep. The per-hour hazards are sized so
-// that a ~quarter-second job on 8 nodes sees a realistic mix of clean runs,
-// single faults and repeated faults as intensity grows.
-func baseRates() fault.Rates {
-	return fault.Rates{
-		NodeCrashPerHour:   500,
-		LWKPanicPerHour:    2000,
-		LWKHangPerHour:     1000,
-		IHKReserveFailProb: 0.02,
-		IKCTimeoutProb:     0.03,
-		LWKOOMProb:         0.03,
-	}
-}
-
-func scaled(r fault.Rates, k float64) fault.Rates {
-	prob := func(p float64) float64 {
-		p *= k
-		if p > 1 {
-			return 1
-		}
-		return p
-	}
-	return fault.Rates{
-		NodeCrashPerHour:   r.NodeCrashPerHour * k,
-		LWKPanicPerHour:    r.LWKPanicPerHour * k,
-		LWKHangPerHour:     r.LWKHangPerHour * k,
-		IHKReserveFailProb: prob(r.IHKReserveFailProb),
-		IKCTimeoutProb:     prob(r.IKCTimeoutProb),
-		LWKOOMProb:         prob(r.LWKOOMProb),
-	}
-}
-
-func workload(nodes int) bsp.Workload {
-	return bsp.Workload{
-		Name: "faultexp", Scaling: bsp.StrongScaling, RefNodes: nodes,
-		Steps: 50, StepCompute: 5 * time.Millisecond,
-		WorkingSetPerRank: 64 << 20, MemAccessPeriod: 100 * time.Nanosecond,
-	}
-}
-
-// runPoint executes one sweep point: a batch of jobs under one OS with
-// recovery enabled, returning the scheduler for its report and job lists.
-func runPoint(p *cluster.Platform, os cluster.OSKind, rates fault.Rates, jobs, nodes int, seed int64) *cluster.ResilientScheduler {
-	rs, err := cluster.NewResilientScheduler(p, fault.NewInjector(rates, seed), cluster.DefaultRecoveryPolicy())
-	if err != nil {
-		log.Fatal(err)
-	}
-	g := bsp.Geometry{RanksPerNode: 4, ThreadsPerRank: 12}
-	if p.Name == "oakforest-pacs" {
-		g = bsp.Geometry{RanksPerNode: 4, ThreadsPerRank: 16}
-	}
-	w := workload(nodes)
-	for j := 0; j < jobs; j++ {
-		// Per-job seeds derive from the experiment seed; terminal failures
-		// are part of the measurement, not an error of the experiment.
-		_, _ = rs.Submit(w, g, nodes, os, seed*1000+int64(j))
-	}
-	return rs
-}
 
 func main() {
 	log.SetFlags(0)
@@ -94,6 +36,8 @@ func main() {
 	nodes := flag.Int("nodes", 8, "nodes per job")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	report := flag.Bool("report", true, "print the full failure report of the heaviest McKernel point")
+	workers := flag.Int("j", 0, "parallel trial workers (0 = all cores)")
+	cacheDir := flag.String("cache-dir", "", "reuse cached trial results from this directory")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump to this file")
 	profilePath := flag.String("profile", "", "write the engine profiler report (host wall times, non-deterministic)")
@@ -113,6 +57,16 @@ func main() {
 	}
 
 	intensities := []float64{0, 0.5, 1, 2, 4}
+	specs := campaigns.FaultPoints(p.Name, intensities, campaigns.DefaultFaultRates(), *jobs, *nodes, *seed)
+	o, err := sweep.Run(campaigns.FaultSweep("faultexp", specs, *seed), sweep.Options{
+		Workers: *workers, CacheDir: *cacheDir,
+		Trace: *tracePath != "", Progress: os.Stderr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	o.MergeTelemetry(telemetry.Default())
+
 	fmt.Printf("fault-injection sweep: %s, %d jobs/point x %d nodes, seed %d\n",
 		p.Name, *jobs, *nodes, *seed)
 	fmt.Printf("policy: %+v\n\n", cluster.DefaultRecoveryPolicy())
@@ -120,18 +74,29 @@ func main() {
 	fmt.Printf("%-9s | %-42s | %-30s\n", "intensity", "mckernel", "linux")
 	fmt.Printf("%-9s | %4s %4s %4s %5s %8s %9s | %4s %4s %5s %8s\n",
 		"(x base)", "done", "fb", "fail", "retry", "detect", "waste", "done", "fail", "retry", "waste")
-	var heaviest *cluster.ResilientScheduler
+	var heaviest *campaigns.FaultPointResult
 	for _, k := range intensities {
-		rates := scaled(baseRates(), k)
-		mck := runPoint(p, cluster.McKernel, rates, *jobs, *nodes, *seed)
-		lin := runPoint(p, cluster.Linux, rates, *jobs, *nodes, *seed)
+		var mck, lin campaigns.FaultPointResult
+		point := func(os string, into *campaigns.FaultPointResult) {
+			for _, s := range specs {
+				if s.Intensity == k && s.OS == os {
+					if err := o.Payload(campaigns.FaultKey(s), into); err != nil {
+						log.Fatal(err)
+					}
+					return
+				}
+			}
+			log.Fatalf("missing %s point at %gx", os, k)
+		}
+		point("mckernel", &mck)
+		point("linux", &lin)
 		mr, lr := mck.Report, lin.Report
 		fmt.Printf("%-9.2g | %4d %4d %4d %5d %7.2fs %8.1fs | %4d %4d %5d %7.1fs\n",
 			k,
 			mr.Completed, mr.Fallbacks, mr.Failed, mr.Retries,
 			mr.MeanDetectionLatency().Seconds(), mr.WastedNodeSeconds,
 			lr.Completed, lr.Failed, lr.Retries, lr.WastedNodeSeconds)
-		heaviest = mck
+		heaviest = &mck
 	}
 
 	fmt.Println()
@@ -143,7 +108,7 @@ func main() {
 	if *report && heaviest != nil {
 		fmt.Println()
 		fmt.Printf("failure report, heaviest McKernel point (%gx base rates):\n", intensities[len(intensities)-1])
-		fmt.Print(heaviest.Report.String())
+		fmt.Print(heaviest.Text)
 	}
 
 	for _, w := range []struct {
@@ -159,5 +124,10 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	}
+
+	if err := o.FirstErr(); err != nil {
+		log.Print(err)
+		os.Exit(1)
 	}
 }

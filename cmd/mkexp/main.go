@@ -1,7 +1,9 @@
 // Command mkexp runs the application-level Linux-vs-IHK/McKernel
 // comparisons of Figures 5, 6 and 7: relative performance (Linux normalized
 // to 1.0) across node counts for the CORAL mini-apps on Oakforest-PACS and
-// the Fugaku-project applications on both platforms.
+// the Fugaku-project applications on both platforms. Each (app, node-count)
+// point is an independent trial and runs in parallel on the sweep
+// orchestrator; output is byte-identical at any -j.
 //
 // Usage:
 //
@@ -9,17 +11,21 @@
 //	mkexp -figure 6              # LQCD / GeoFEM / GAMERA on OFP
 //	mkexp -figure 7              # LQCD / GeoFEM / GAMERA on Fugaku
 //	mkexp -platform fugaku -app GAMERA -nodes 128,512,2048,8192
+//	mkexp -figure 5 -j 8 -cache-dir .sweepcache
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
 	"mkos/internal/apps"
 	"mkos/internal/core"
+	"mkos/internal/sweep"
+	"mkos/internal/sweep/campaigns"
 	"mkos/internal/telemetry"
 )
 
@@ -34,6 +40,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed; run i uses seed+i")
 	isolation := flag.Bool("isolation", false, "run the co-location isolation experiment instead of a figure")
 	fom := flag.Bool("fom", false, "also print each application's custom metric (FOM, TFLOPS, ...)")
+	workers := flag.Int("j", 0, "parallel trial workers (0 = all cores)")
+	cacheDir := flag.String("cache-dir", "", "reuse cached trial results from this directory")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write the deterministic telemetry metrics dump to this file")
 	flag.Parse()
@@ -41,17 +49,18 @@ func main() {
 	if *tracePath != "" {
 		telemetry.EnableTrace()
 	}
-	defer func() {
+	writeArtifacts := func() {
 		if err := telemetry.WriteMetricsFile(*metricsPath); err != nil {
 			log.Fatal(err)
 		}
 		if err := telemetry.WriteTraceFile(*tracePath); err != nil {
 			log.Fatal(err)
 		}
-	}()
+	}
 
 	if *isolation {
 		runIsolation(*platform, *appName, *nodeList, *seed)
+		writeArtifacts()
 		return
 	}
 
@@ -60,9 +69,9 @@ func main() {
 		seeds[i] = *seed + int64(i)
 	}
 
+	var specs []core.FigureSpec
 	switch {
 	case *figure != "":
-		var specs []core.FigureSpec
 		switch *figure {
 		case "5":
 			specs = core.Figure5Specs()
@@ -73,9 +82,6 @@ func main() {
 		default:
 			log.Fatalf("unknown figure %q (want 5, 6 or 7)", *figure)
 		}
-		for _, spec := range specs {
-			run(spec, seeds)
-		}
 	case *appName != "":
 		p := apps.OnOFP
 		if strings.HasPrefix(strings.ToLower(*platform), "fugaku") {
@@ -85,9 +91,30 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		run(core.FigureSpec{Figure: "custom", Platform: p, App: *appName, Nodes: nodes}, seeds)
+		specs = []core.FigureSpec{{Figure: "custom", Platform: p, App: *appName, Nodes: nodes}}
 	default:
 		log.Fatal("choose -figure 5|6|7 or -app NAME -nodes N1,N2,...")
+	}
+
+	c, err := campaigns.FigurePoints("mkexp", specs, seeds, *runs, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, err := sweep.Run(c, sweep.Options{
+		Workers: *workers, CacheDir: *cacheDir,
+		Trace: *tracePath != "", Progress: os.Stderr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	o.MergeTelemetry(telemetry.Default())
+	for _, spec := range specs {
+		printFigure(o, spec)
+	}
+	writeArtifacts()
+	if err := o.FirstErr(); err != nil {
+		log.Print(err)
+		os.Exit(1)
 	}
 }
 
@@ -132,19 +159,27 @@ func parseNodes(s string) ([]int, error) {
 	return out, nil
 }
 
-// showMetrics controls custom-metric output in run().
+// showMetrics controls custom-metric output in printFigure().
 var showMetrics bool
 
-func run(spec core.FigureSpec, seeds []int64) {
-	results, err := core.RunFigure(spec, seeds)
-	if err != nil {
-		log.Fatal(err)
-	}
+// printFigure renders one figure panel from the campaign outcome, skipping
+// failed points (they surface through the exit code) and oversize node counts
+// (never enumerated, matching core.Sweep).
+func printFigure(o *sweep.Outcome, spec core.FigureSpec) {
 	fmt.Printf("\n# Figure %s: %s on %s (relative performance, Linux = 1.0)\n",
 		spec.Figure, spec.App, spec.Platform)
 	fmt.Printf("%-8s %10s %8s %16s %16s\n", "nodes", "mckernel", "+/-", "linux_runtime", "mck_runtime")
 	app, appErr := apps.ByName(spec.App, spec.Platform)
-	for _, c := range results {
+	for _, n := range spec.Nodes {
+		if appErr == nil && n > app.MaxNodes {
+			continue
+		}
+		key := campaigns.FigurePointKey(spec.Figure, string(spec.Platform), spec.App, n)
+		var c core.Comparison
+		if err := o.Payload(key, &c); err != nil {
+			fmt.Printf("%-8d FAILED: %v\n", n, err)
+			continue
+		}
 		fmt.Printf("%-8d %10.3f %8.3f %16s %16s",
 			c.Nodes, c.Relative, c.RelErr, c.LinuxRuntime.Round(0), c.McKRuntime.Round(0))
 		if showMetrics && appErr == nil {

@@ -13,12 +13,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mkos/internal/apps"
 	"mkos/internal/cluster"
 	"mkos/internal/core"
 	"mkos/internal/noise"
+	"mkos/internal/sweep"
+	"mkos/internal/sweep/campaigns"
 )
 
 func main() {
@@ -35,6 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 20211114, "simulation seed")
 	points := flag.Int("points", 40, "CDF points per curve")
 	iterations := flag.Int("iterations", 1, "repeat the CDF measurement N times and merge (paper: 10 x ~6 min = 1 hour)")
+	workers := flag.Int("j", 0, "parallel trial workers for -cdf (0 = all cores)")
+	cacheDir := flag.String("cache-dir", "", "reuse cached trial results from this directory")
 	flag.Parse()
 
 	switch {
@@ -46,7 +51,7 @@ func main() {
 		runCDF(core.Figure4Config{
 			OFPNodes: *ofpNodes, FugakuFullNodes: *fugakuFull, Fugaku24Racks: *fugakuRacks,
 			Duration: time.Duration(*minutes * float64(time.Minute)), WorstNodes: 100, Seed: *seed,
-		}, *points, *iterations)
+		}, *points, *iterations, *workers, *cacheDir)
 	default:
 		log.Fatal("choose -series or -cdf")
 	}
@@ -106,27 +111,26 @@ func runSeries(cm string, dur time.Duration, seed int64) {
 	}
 }
 
-func runCDF(cfg core.Figure4Config, points, iterations int) {
+// runCDF shards the figure's (iteration x curve) matrix over the sweep
+// orchestrator and merges per curve — the paper ran "ten iterations of
+// measurements that last for approximately 6 minutes, capturing a noise
+// profile that covers one hour altogether".
+func runCDF(cfg core.Figure4Config, points, iterations, workers int, cacheDir string) {
 	if iterations < 1 {
 		iterations = 1
 	}
-	curves, err := core.Figure4(cfg)
+	o, err := sweep.Run(campaigns.Figure4(cfg, iterations, cfg.Seed), sweep.Options{
+		Workers: workers, CacheDir: cacheDir, Progress: os.Stderr,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Additional iterations with derived seeds, merged per curve — the
-	// paper ran "ten iterations of measurements that last for approximately
-	// 6 minutes, capturing a noise profile that covers one hour altogether".
-	for it := 1; it < iterations; it++ {
-		next := cfg
-		next.Seed = cfg.Seed + int64(it)*1000003
-		more, err := core.Figure4(next)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i := range curves {
-			curves[i].CDF = noise.MergeDists([]*noise.IterationDist{curves[i].CDF, more[i].CDF})
-		}
+	if err := o.FirstErr(); err != nil {
+		log.Fatal(err)
+	}
+	curves, err := campaigns.MergeFigure4(o, cfg, iterations)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("# Figure 4: FWQ iteration-latency CDFs (worst %d nodes per config)\n", cfg.WorstNodes)
 	fmt.Printf("# node counts are subsamples of the paper's scales; see EXPERIMENTS.md\n")

@@ -26,6 +26,8 @@ import (
 	"mkos/internal/mckernel"
 	"mkos/internal/noise"
 	"mkos/internal/sim"
+	"mkos/internal/sweep"
+	"mkos/internal/sweep/campaigns"
 	"mkos/internal/telemetry"
 )
 
@@ -34,6 +36,8 @@ func main() {
 	log.SetPrefix("repro: ")
 	quick := flag.Bool("quick", false, "reduced scales for a fast smoke run")
 	outdir := flag.String("outdir", "results", "directory for generated data files")
+	workers := flag.Int("j", 0, "parallel trial workers (0 = all cores)")
+	cacheDir := flag.String("cache-dir", "", "reuse cached trial results from this directory")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump to this file")
 	profilePath := flag.String("profile", "", "write the engine profiler report (host wall times, non-deterministic)")
@@ -47,15 +51,37 @@ func main() {
 	}
 	start := time.Now()
 
+	// runCampaign shards one stage's trials over the worker pool and folds
+	// the merged telemetry into the process-wide sink, so the -metrics and
+	// -trace artifacts see every stage exactly as the serial path did.
+	runCampaign := func(c *sweep.Campaign) *sweep.Outcome {
+		o, err := sweep.Run(c, sweep.Options{
+			Workers: *workers, CacheDir: *cacheDir,
+			Trace: *tracePath != "", Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := o.FirstErr(); err != nil {
+			log.Fatal(err)
+		}
+		o.MergeTelemetry(telemetry.Default())
+		return o
+	}
+
 	// --- Table 2 ---
 	t2cfg := core.DefaultTable2Config()
 	if *quick {
 		t2cfg.Nodes, t2cfg.Duration = 4, time.Minute
 	}
 	fmt.Printf("[1/5] Table 2 (%d nodes, %v FWQ)...\n", t2cfg.Nodes, t2cfg.Duration)
-	rows, err := core.Table2(t2cfg)
-	if err != nil {
-		log.Fatal(err)
+	t2out := runCampaign(campaigns.Table2(t2cfg, t2cfg.Seed))
+	variants := core.Table2Variants()
+	rows := make([]core.Table2Row, len(variants))
+	for i, disabled := range variants {
+		if err := t2out.Payload(campaigns.Table2Key(i, disabled), &rows[i]); err != nil {
+			log.Fatal(err)
+		}
 	}
 	writeFile(*outdir, "table2.txt", func(f *os.File) {
 		fmt.Fprintf(f, "%-32s %18s %12s\n", "Disabled technique", "Max noise (us)", "Noise rate")
@@ -88,7 +114,8 @@ func main() {
 	}
 	fmt.Printf("[3/5] Figure 4 CDFs (%d/%d/%d nodes)...\n",
 		f4cfg.OFPNodes, f4cfg.FugakuFullNodes, f4cfg.Fugaku24Racks)
-	curves, err := core.Figure4(f4cfg)
+	f4out := runCampaign(campaigns.Figure4(f4cfg, 1, f4cfg.Seed))
+	curves, err := campaigns.MergeFigure4(f4out, f4cfg, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,21 +135,31 @@ func main() {
 	}
 	fmt.Printf("[4/5] application figures...\n")
 	specs := append(append(core.Figure5Specs(), core.Figure6Specs()...), core.Figure7Specs()...)
+	if *quick {
+		for i := range specs {
+			specs[i].Nodes = specs[i].Nodes[len(specs[i].Nodes)-1:] // top of sweep only
+		}
+	}
+	figCampaign, err := campaigns.FigurePoints("repro-figs", specs, seeds, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	figOut := runCampaign(figCampaign)
 	type key struct{ fig, app string }
 	top := map[key]core.Comparison{}
 	writeFile(*outdir, "figures567.txt", func(f *os.File) {
 		for _, spec := range specs {
-			nodes := spec.Nodes
-			if *quick {
-				nodes = nodes[len(nodes)-1:] // top of sweep only
-			}
-			cs, err := core.Sweep(core.PlatformFor(spec.Platform),
-				mustApp(spec.App, spec.Platform), nodes, seeds)
-			if err != nil {
-				log.Fatal(err)
-			}
+			app := mustApp(spec.App, spec.Platform)
 			fmt.Fprintf(f, "# figure %s: %s on %s\n", spec.Figure, spec.App, spec.Platform)
-			for _, c := range cs {
+			for _, n := range spec.Nodes {
+				if n > app.MaxNodes {
+					continue
+				}
+				var c core.Comparison
+				k := campaigns.FigurePointKey(spec.Figure, string(spec.Platform), spec.App, n)
+				if err := figOut.Payload(k, &c); err != nil {
+					log.Fatal(err)
+				}
 				fmt.Fprintf(f, "%d %.4f %.4f\n", c.Nodes, c.Relative, c.RelErr)
 				top[key{spec.Figure, spec.App + "/" + string(spec.Platform)}] = c
 			}

@@ -1,0 +1,101 @@
+// Command sweep runs a declarative simulation campaign: a JSON spec
+// enumerates trials from the paper's experiment families (application
+// figures, Table 2 countermeasures, Figure 4 noise CDFs, fault-injection
+// sweeps), and the orchestrator shards them over a worker pool, reusing
+// cached results for trials whose inputs are unchanged.
+//
+// The deterministic artifacts — results.json and metrics.txt — are
+// byte-identical at any -j and for any mix of cached and executed trials;
+// ops.txt carries the wall-clock side (pool utilization, per-trial runtimes)
+// and is expected to differ run to run.
+//
+// Usage:
+//
+//	sweep -spec specs/ci-sweep.json [-j 8] [-cache-dir .sweepcache] [-outdir sweep-out]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mkos/internal/sweep"
+	"mkos/internal/sweep/campaigns"
+	"mkos/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	specPath := flag.String("spec", "", "declarative campaign spec (JSON)")
+	workers := flag.Int("j", 0, "parallel trial workers (0 = all cores)")
+	cacheDir := flag.String("cache-dir", "", "on-disk result cache; re-runs execute only changed trials")
+	outdir := flag.String("outdir", "sweep-out", "directory for results.json, metrics.txt and ops.txt")
+	trace := flag.Bool("trace", false, "also write trace.json (merged per-trial sim-time trace)")
+	flag.Parse()
+	if *specPath == "" {
+		log.Fatal("provide -spec FILE (see specs/ci-sweep.json)")
+	}
+
+	spec, err := campaigns.LoadSpec(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := spec.Campaign()
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, err := sweep.Run(c, sweep.Options{
+		Workers: *workers, CacheDir: *cacheDir,
+		Trace: *trace, Progress: os.Stderr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	blob, err := json.MarshalIndent(o.Results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeArtifact(*outdir, "results.json", append(blob, '\n'))
+	writeArtifact(*outdir, "metrics.txt", dumpRegistry(o.Registry))
+	writeArtifact(*outdir, "ops.txt", dumpRegistry(o.Ops))
+	if o.Recorder != nil {
+		var buf bytes.Buffer
+		if err := o.Recorder.WriteChromeTrace(&buf); err != nil {
+			log.Fatal(err)
+		}
+		writeArtifact(*outdir, "trace.json", buf.Bytes())
+	}
+
+	// The summary line is stable output: CI greps it to assert a warm-cache
+	// re-run executed zero trials.
+	fmt.Printf("campaign %s: %d trials: %d executed, %d cached, %d failed\n",
+		o.Name, len(o.Results), o.Executed, o.Cached, o.Failed)
+	fmt.Fprintf(os.Stderr, "sweep: artifacts in %s (elapsed %v)\n", *outdir, o.Elapsed.Round(o.Elapsed/100+1))
+	if err := o.FirstErr(); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func dumpRegistry(r *telemetry.Registry) []byte {
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func writeArtifact(dir, name string, blob []byte) {
+	if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

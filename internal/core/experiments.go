@@ -166,42 +166,79 @@ func DefaultTable2Config() Table2Config {
 	return Table2Config{Nodes: 16, Duration: 6 * time.Minute, Seed: 11}
 }
 
+// table2Variant pairs a countermeasure's table label with the tuning switch
+// that disables it.
+type table2Variant struct {
+	name   string
+	mutate func(*cluster.Platform)
+}
+
+// table2Variants lists the experiment's rows in paper order: the all-enabled
+// baseline first, then one disabled countermeasure per row.
+var table2Variants = []table2Variant{
+	{"None", func(*cluster.Platform) {}},
+	{"Daemon process", func(p *cluster.Platform) { p.Tuning.Counter.BindDaemons = false }},
+	{"Unbound kworker tasks", func(p *cluster.Platform) { p.Tuning.Counter.BindKworkers = false }},
+	{"blk-mq worker tasks", func(p *cluster.Platform) { p.Tuning.Counter.BindBlkMQ = false }},
+	{"PMU counter reads", func(p *cluster.Platform) { p.Tuning.Counter.StopPMUReads = false }},
+	{"CPU-global flush instruction", func(p *cluster.Platform) { p.Tuning.Counter.SuppressGlobalTLBI = false }},
+}
+
+// Table2Variants returns the countermeasure labels in table order. Each is a
+// valid argument to Table2Variant, and an independent trial for a sweep
+// campaign.
+func Table2Variants() []string {
+	out := make([]string, len(table2Variants))
+	for i, v := range table2Variants {
+		out[i] = v.name
+	}
+	return out
+}
+
+// Table2Variant reruns the FWQ experiment with one countermeasure disabled
+// ("None" keeps all of them on) — a single row of Table 2.
+func Table2Variant(cfg Table2Config, disabled string) (Table2Row, error) {
+	var variant *table2Variant
+	for i := range table2Variants {
+		if table2Variants[i].name == disabled {
+			variant = &table2Variants[i]
+			break
+		}
+	}
+	if variant == nil {
+		return Table2Row{}, fmt.Errorf("core: unknown Table 2 countermeasure %q", disabled)
+	}
+	p := cluster.Fugaku()
+	variant.mutate(p)
+	node, err := p.NewNode(cluster.Linux)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	fwqCfg := apps.FWQConfig{Work: 6500 * time.Microsecond, Duration: cfg.Duration, Cores: node.AppCores()}
+	analyses, _, err := apps.FWQAcrossNodes(fwqCfg, node.Host, cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	merged, err := noise.Merge(analyses)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	return Table2Row{
+		Disabled: variant.name, MaxNoise: merged.MaxNoise, NoiseRate: merged.Rate,
+		Lengths: merged.Lengths,
+	}, nil
+}
+
 // Table2 reruns the FWQ experiment once per countermeasure, disabling one at
 // a time (plus the all-enabled baseline), exactly like Sec. 6.3.
 func Table2(cfg Table2Config) ([]Table2Row, error) {
-	type variant struct {
-		name   string
-		mutate func(*cluster.Platform)
-	}
-	variants := []variant{
-		{"None", func(*cluster.Platform) {}},
-		{"Daemon process", func(p *cluster.Platform) { p.Tuning.Counter.BindDaemons = false }},
-		{"Unbound kworker tasks", func(p *cluster.Platform) { p.Tuning.Counter.BindKworkers = false }},
-		{"blk-mq worker tasks", func(p *cluster.Platform) { p.Tuning.Counter.BindBlkMQ = false }},
-		{"PMU counter reads", func(p *cluster.Platform) { p.Tuning.Counter.StopPMUReads = false }},
-		{"CPU-global flush instruction", func(p *cluster.Platform) { p.Tuning.Counter.SuppressGlobalTLBI = false }},
-	}
 	var rows []Table2Row
-	for _, v := range variants {
-		p := cluster.Fugaku()
-		v.mutate(p)
-		node, err := p.NewNode(cluster.Linux)
+	for _, name := range Table2Variants() {
+		row, err := Table2Variant(cfg, name)
 		if err != nil {
 			return nil, err
 		}
-		fwqCfg := apps.FWQConfig{Work: 6500 * time.Microsecond, Duration: cfg.Duration, Cores: node.AppCores()}
-		analyses, _, err := apps.FWQAcrossNodes(fwqCfg, node.Host, cfg.Nodes, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		merged, err := noise.Merge(analyses)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table2Row{
-			Disabled: v.name, MaxNoise: merged.MaxNoise, NoiseRate: merged.Rate,
-			Lengths: merged.Lengths,
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -238,45 +275,79 @@ func DefaultFigure4Config() Figure4Config {
 	}
 }
 
-// Figure4 produces the five curves of Figure 4: OFP Linux, OFP McKernel,
-// Fugaku Linux full scale, Fugaku Linux 24 racks, Fugaku McKernel 24 racks.
+// Figure4CurveSpec fully parameterizes one curve of Figure 4 — an
+// independent unit of work a sweep campaign can run as its own trial.
+type Figure4CurveSpec struct {
+	Label      string        `json:"label"`
+	Platform   string        `json:"platform"` // "fugaku" or "oakforest-pacs"
+	OS         string        `json:"os"`       // "linux" or "mckernel"
+	Nodes      int           `json:"nodes"`
+	Duration   time.Duration `json:"duration"`
+	WorstNodes int           `json:"worst_nodes"`
+	Seed       int64         `json:"seed"`
+}
+
+// Figure4CurveSpecs expands a Figure4Config into the five curve specs of the
+// figure: OFP Linux, OFP McKernel, Fugaku Linux full scale, Fugaku Linux 24
+// racks, Fugaku McKernel 24 racks.
+func Figure4CurveSpecs(cfg Figure4Config) []Figure4CurveSpec {
+	mk := func(label, platform, os string, nodes int) Figure4CurveSpec {
+		return Figure4CurveSpec{
+			Label: label, Platform: platform, OS: os, Nodes: nodes,
+			Duration: cfg.Duration, WorstNodes: cfg.WorstNodes, Seed: cfg.Seed,
+		}
+	}
+	return []Figure4CurveSpec{
+		mk("ofp-linux", "oakforest-pacs", "linux", cfg.OFPNodes),
+		mk("ofp-mckernel", "oakforest-pacs", "mckernel", cfg.OFPNodes),
+		mk("fugaku-linux-full", "fugaku", "linux", cfg.FugakuFullNodes),
+		mk("fugaku-linux-24racks", "fugaku", "linux", cfg.Fugaku24Racks),
+		mk("fugaku-mckernel-24racks", "fugaku", "mckernel", cfg.Fugaku24Racks),
+	}
+}
+
+// Figure4Curve computes one curve.
+func Figure4Curve(s Figure4CurveSpec) (CDFCurve, error) {
+	platform := cluster.OFP()
+	if s.Platform == "fugaku" {
+		platform = cluster.Fugaku()
+	}
+	kind := cluster.Linux
+	if s.OS == "mckernel" {
+		kind = cluster.McKernel
+	}
+	node, err := platform.NewNode(kind)
+	if err != nil {
+		return CDFCurve{}, err
+	}
+	fwqCfg := apps.FWQConfig{Work: 6500 * time.Microsecond, Duration: s.Duration, Cores: node.AppCores()}
+	sketches, err := apps.FWQSketchAcrossNodes(fwqCfg, node.OS(), s.Nodes, s.Seed)
+	if err != nil {
+		return CDFCurve{}, err
+	}
+	// In-situ selection: keep only the worst nodes' raw data, like the
+	// paper's parallel-filesystem-friendly capture (Sec. 6.3).
+	analyses := make([]noise.Analysis, len(sketches))
+	for i, sk := range sketches {
+		analyses[i] = sk.Analysis
+	}
+	worst := noise.WorstBy(analyses, s.WorstNodes)
+	dists := make([]*noise.IterationDist, 0, len(worst))
+	for _, idx := range worst {
+		dists = append(dists, sketches[idx].Dist)
+	}
+	return CDFCurve{Label: s.Label, Nodes: s.Nodes, CDF: noise.MergeDists(dists)}, nil
+}
+
+// Figure4 produces the five curves of Figure 4.
 func Figure4(cfg Figure4Config) ([]CDFCurve, error) {
-	type curveSpec struct {
-		label    string
-		platform *cluster.Platform
-		kind     cluster.OSKind
-		nodes    int
-	}
-	specs := []curveSpec{
-		{"ofp-linux", cluster.OFP(), cluster.Linux, cfg.OFPNodes},
-		{"ofp-mckernel", cluster.OFP(), cluster.McKernel, cfg.OFPNodes},
-		{"fugaku-linux-full", cluster.Fugaku(), cluster.Linux, cfg.FugakuFullNodes},
-		{"fugaku-linux-24racks", cluster.Fugaku(), cluster.Linux, cfg.Fugaku24Racks},
-		{"fugaku-mckernel-24racks", cluster.Fugaku(), cluster.McKernel, cfg.Fugaku24Racks},
-	}
 	var curves []CDFCurve
-	for _, s := range specs {
-		node, err := s.platform.NewNode(s.kind)
+	for _, s := range Figure4CurveSpecs(cfg) {
+		c, err := Figure4Curve(s)
 		if err != nil {
 			return nil, err
 		}
-		fwqCfg := apps.FWQConfig{Work: 6500 * time.Microsecond, Duration: cfg.Duration, Cores: node.AppCores()}
-		sketches, err := apps.FWQSketchAcrossNodes(fwqCfg, node.OS(), s.nodes, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		// In-situ selection: keep only the worst nodes' raw data, like the
-		// paper's parallel-filesystem-friendly capture (Sec. 6.3).
-		analyses := make([]noise.Analysis, len(sketches))
-		for i, sk := range sketches {
-			analyses[i] = sk.Analysis
-		}
-		worst := noise.WorstBy(analyses, cfg.WorstNodes)
-		dists := make([]*noise.IterationDist, 0, len(worst))
-		for _, idx := range worst {
-			dists = append(dists, sketches[idx].Dist)
-		}
-		curves = append(curves, CDFCurve{Label: s.label, Nodes: s.nodes, CDF: noise.MergeDists(dists)})
+		curves = append(curves, c)
 	}
 	return curves, nil
 }

@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"encoding/json"
 	"sort"
 	"time"
 
@@ -42,6 +43,33 @@ func MergeDists(ds []*IterationDist) *IterationDist {
 	}
 	sort.Float64s(out.perturbed)
 	return out
+}
+
+// iterationDistJSON is the serialized form of an IterationDist; the sweep
+// result cache stores distributions through it.
+type iterationDistJSON struct {
+	Work      time.Duration `json:"work"`
+	Clean     int64         `json:"clean"`
+	Perturbed []float64     `json:"perturbed,omitempty"`
+}
+
+// MarshalJSON serializes the distribution, perturbed samples included, so a
+// cached Figure 4 trial round-trips losslessly.
+func (d *IterationDist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(iterationDistJSON{Work: d.Work, Clean: d.Clean, Perturbed: d.perturbed})
+}
+
+// UnmarshalJSON restores a serialized distribution, re-sorting the perturbed
+// samples so a hand-edited or corrupted file cannot break the sorted-slice
+// invariant the CDF queries rely on.
+func (d *IterationDist) UnmarshalJSON(b []byte) error {
+	var j iterationDistJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	sort.Float64s(j.Perturbed)
+	d.Work, d.Clean, d.perturbed = j.Work, j.Clean, j.Perturbed
+	return nil
 }
 
 // N returns the total number of iterations.

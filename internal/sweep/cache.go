@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+)
+
+// cacheSchema versions the on-disk format itself; bumping it orphans every
+// existing entry. It is folded into each entry's content hash alongside the
+// code version.
+const cacheSchema = "mkos-sweep-v1"
+
+// CodeVersion identifies the code that produces trial results, for cache
+// invalidation: the VCS revision embedded by the Go toolchain when available
+// (plus a "+dirty" marker for modified builds). Test binaries and plain `go
+// build` outside a stamped checkout fall back to the bare schema string —
+// callers that need stricter invalidation pass Options.Version explicitly.
+func CodeVersion() string {
+	v := cacheSchema
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			v += "@" + rev + dirty
+		}
+	}
+	return v
+}
+
+// diskCache stores one JSON file per completed trial under dir, named by the
+// trial's content hash. Entries are written atomically (temp file + rename)
+// so a killed campaign never leaves a truncated entry behind, and every load
+// is validated against the trial key so a hash collision or a foreign file
+// degrades to a cache miss, never a wrong result.
+type diskCache struct {
+	dir     string
+	version string
+}
+
+func openCache(dir, version string) (*diskCache, error) {
+	if version == "" {
+		version = CodeVersion()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: creating cache dir: %w", err)
+	}
+	return &diskCache{dir: dir, version: version}, nil
+}
+
+// entryHash is the cache key: code version, trial key, derived seed and the
+// canonical JSON of the trial spec. Changing any one of them — a parameter
+// edit, a different campaign seed, a new code revision — re-executes exactly
+// the affected trials. The campaign name is deliberately excluded: two
+// campaigns that enumerate an identical trial share its result.
+func (c *diskCache) entryHash(t Trial, seed int64) (string, error) {
+	spec, err := json.Marshal(t.Spec)
+	if err != nil {
+		return "", fmt.Errorf("sweep: marshaling spec of %q: %w", t.Key, err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00", cacheSchema, c.version, t.Key, seed)
+	h.Write(spec)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (c *diskCache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// load returns the cached result for the trial, reporting whether the lookup
+// hit. Any problem — missing entry, unreadable file, spec mismatch — is a
+// miss; the trial simply runs again.
+func (c *diskCache) load(t Trial, seed int64) (TrialResult, bool) {
+	hash, err := c.entryHash(t, seed)
+	if err != nil {
+		return TrialResult{}, false
+	}
+	blob, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return TrialResult{}, false
+	}
+	var r TrialResult
+	if err := json.Unmarshal(blob, &r); err != nil || r.Key != t.Key || r.Err != "" {
+		return TrialResult{}, false
+	}
+	r.Cached = true
+	return r, true
+}
+
+// store persists a successful trial result; failures are never cached so they
+// re-run on the next invocation. Store errors are swallowed: the cache is an
+// accelerator, and a read-only or full disk must not fail the campaign.
+func (c *diskCache) store(t Trial, r TrialResult) {
+	hash, err := c.entryHash(t, r.Seed)
+	if err != nil {
+		return
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(hash)); err != nil {
+		os.Remove(name)
+	}
+}

@@ -1,0 +1,153 @@
+package sweep_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mkos/internal/sweep"
+)
+
+// countingCampaign builds trials that count their executions through a shared
+// slice, so tests can assert exactly which trials ran.
+func countingCampaign(name string, n int, execs []int) *sweep.Campaign {
+	c := &sweep.Campaign{Name: name, Seed: 9}
+	for i := 0; i < n; i++ {
+		i := i
+		c.Trials = append(c.Trials, sweep.Trial{
+			Key:  fmt.Sprintf("count/n%03d", i),
+			Spec: synthSpec{ID: i, Scale: 2},
+			Run: func(t *sweep.T) (any, error) {
+				execs[i]++
+				return map[string]int64{"seed": t.Seed}, nil
+			},
+		})
+	}
+	return c
+}
+
+func TestCacheWarmRerunExecutesNothing(t *testing.T) {
+	dir := t.TempDir()
+	execs := make([]int, 6)
+	opts := sweep.Options{Workers: 3, CacheDir: dir, Version: "test-v1"}
+
+	cold, err := sweep.Run(countingCampaign("cache", 6, execs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Executed != 6 || cold.Cached != 0 {
+		t.Fatalf("cold run executed=%d cached=%d, want 6/0", cold.Executed, cold.Cached)
+	}
+	coldArt := artifacts(t, cold)
+
+	warm, err := sweep.Run(countingCampaign("cache", 6, execs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Executed != 0 || warm.Cached != 6 {
+		t.Fatalf("warm run executed=%d cached=%d, want 0/6", warm.Executed, warm.Cached)
+	}
+	for i, n := range execs {
+		if n != 1 {
+			t.Fatalf("trial %d ran %d times across cold+warm, want 1", i, n)
+		}
+	}
+	if !bytes.Equal(coldArt, artifacts(t, warm)) {
+		t.Fatal("warm-cache artifacts differ from the cold run")
+	}
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	execs := make([]int, 3)
+	opts := sweep.Options{Workers: 2, CacheDir: dir, Version: "test-v1"}
+	if _, err := sweep.Run(countingCampaign("inv", 3, execs), opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Editing one trial's spec re-executes only that trial.
+	edited := countingCampaign("inv", 3, execs)
+	edited.Trials[1].Spec = synthSpec{ID: 1, Scale: 3}
+	o, err := sweep.Run(edited, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Executed != 1 || o.Cached != 2 {
+		t.Fatalf("after spec edit executed=%d cached=%d, want 1/2", o.Executed, o.Cached)
+	}
+	if execs[0] != 1 || execs[1] != 2 || execs[2] != 1 {
+		t.Fatalf("execution counts %v, want [1 2 1]", execs)
+	}
+
+	// A new campaign seed changes every derived trial seed: full re-run.
+	reseeded := countingCampaign("inv", 3, execs)
+	reseeded.Seed = 10
+	o, err = sweep.Run(reseeded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Executed != 3 {
+		t.Fatalf("after campaign reseed executed=%d, want 3", o.Executed)
+	}
+
+	// A code-version bump also orphans everything.
+	o, err = sweep.Run(countingCampaign("inv", 3, execs), sweep.Options{
+		Workers: 2, CacheDir: dir, Version: "test-v2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Executed != 3 {
+		t.Fatalf("after version bump executed=%d, want 3", o.Executed)
+	}
+}
+
+func TestCacheSkipsFailedTrials(t *testing.T) {
+	dir := t.TempDir()
+	execs := make([]int, 2)
+	broken := countingCampaign("fail", 2, execs)
+	failures := 0
+	broken.Trials[0].Run = func(*sweep.T) (any, error) {
+		failures++
+		return nil, fmt.Errorf("transient failure %d", failures)
+	}
+	opts := sweep.Options{Workers: 1, CacheDir: dir, Version: "test-v1"}
+	if _, err := sweep.Run(broken, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Heal the trial: it must re-run (failures are never cached) while the
+	// healthy trial hits the cache.
+	healed := countingCampaign("fail", 2, execs)
+	o, err := sweep.Run(healed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Executed != 1 || o.Cached != 1 || o.Failed != 0 {
+		t.Fatalf("healed run executed=%d cached=%d failed=%d, want 1/1/0", o.Executed, o.Cached, o.Failed)
+	}
+}
+
+func TestCacheIgnoresCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	execs := make([]int, 1)
+	opts := sweep.Options{Workers: 1, CacheDir: dir, Version: "test-v1"}
+	if _, err := sweep.Run(countingCampaign("corrupt", 1, execs), opts); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one cache entry, got %v (%v)", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := sweep.Run(countingCampaign("corrupt", 1, execs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Executed != 1 || o.Failed != 0 {
+		t.Fatalf("corrupt entry not treated as a miss: executed=%d failed=%d", o.Executed, o.Failed)
+	}
+}

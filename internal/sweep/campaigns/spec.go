@@ -1,0 +1,262 @@
+package campaigns
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mkos/internal/apps"
+	"mkos/internal/core"
+	"mkos/internal/fault"
+	"mkos/internal/sweep"
+)
+
+// platformName maps the accepted spellings ("ofp", "oakforest-pacs",
+// "fugaku") onto the apps-package platform names.
+func platformName(s string) apps.PlatformName {
+	if strings.HasPrefix(strings.ToLower(s), "fugaku") {
+		return apps.OnFugaku
+	}
+	return apps.OnOFP
+}
+
+// DefaultFaultRates is the 1x point of the fault-injection sweep: per-hour
+// hazards sized so that a ~quarter-second job on 8 nodes sees a realistic mix
+// of clean runs, single faults and repeated faults as intensity grows.
+func DefaultFaultRates() fault.Rates {
+	return fault.Rates{
+		NodeCrashPerHour:   500,
+		LWKPanicPerHour:    2000,
+		LWKHangPerHour:     1000,
+		IHKReserveFailProb: 0.02,
+		IKCTimeoutProb:     0.03,
+		LWKOOMProb:         0.03,
+	}
+}
+
+// ScaleRates multiplies every hazard by k, clamping probabilities at 1.
+func ScaleRates(r fault.Rates, k float64) fault.Rates {
+	prob := func(p float64) float64 {
+		p *= k
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return fault.Rates{
+		NodeCrashPerHour:   r.NodeCrashPerHour * k,
+		LWKPanicPerHour:    r.LWKPanicPerHour * k,
+		LWKHangPerHour:     r.LWKHangPerHour * k,
+		IHKReserveFailProb: prob(r.IHKReserveFailProb),
+		IKCTimeoutProb:     prob(r.IKCTimeoutProb),
+		LWKOOMProb:         prob(r.LWKOOMProb),
+	}
+}
+
+// FaultPoints enumerates the standard degradation sweep: every intensity
+// under both kernel configurations, rates scaled from base.
+func FaultPoints(platform string, intensities []float64, base fault.Rates, jobs, nodes int, seed int64) []FaultPointSpec {
+	var out []FaultPointSpec
+	for _, k := range intensities {
+		for _, os := range []string{"mckernel", "linux"} {
+			out = append(out, FaultPointSpec{
+				Platform: platform, OS: os, Intensity: k,
+				Rates: ScaleRates(base, k), Jobs: jobs, Nodes: nodes, Seed: seed,
+			})
+		}
+	}
+	return out
+}
+
+// Spec is the declarative campaign description consumed by cmd/sweep: each
+// present section contributes its trial family to one combined campaign.
+// Durations are given in seconds so specs stay plain JSON.
+type Spec struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+
+	// Seeds/Runs configure the figure-point trials (Figures/Apps sections):
+	// explicit per-run seeds, or a run count seeded from each trial's derived
+	// seed when Seeds is empty.
+	Seeds []int64 `json:"seeds,omitempty"`
+	Runs  int     `json:"runs,omitempty"`
+
+	// Figures lists whole paper figures to regenerate: "5", "6" or "7".
+	Figures []string `json:"figures,omitempty"`
+	// Apps adds custom application sweeps beyond the stock figures.
+	Apps []AppSection `json:"apps,omitempty"`
+
+	Table2  *Table2Section  `json:"table2,omitempty"`
+	Figure4 *Figure4Section `json:"figure4,omitempty"`
+	Fault   *FaultSection   `json:"fault,omitempty"`
+}
+
+// AppSection is one custom application sweep panel.
+type AppSection struct {
+	Platform string `json:"platform"` // "ofp"/"oakforest-pacs" or "fugaku"
+	App      string `json:"app"`
+	Nodes    []int  `json:"nodes"`
+}
+
+// Table2Section configures the countermeasure matrix; zero fields fall back
+// to core.DefaultTable2Config.
+type Table2Section struct {
+	Nodes           int     `json:"nodes,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+}
+
+// Figure4Section configures the noise-CDF curves; zero fields fall back to
+// core.DefaultFigure4Config.
+type Figure4Section struct {
+	OFPNodes        int     `json:"ofp_nodes,omitempty"`
+	FugakuFullNodes int     `json:"fugaku_full_nodes,omitempty"`
+	Fugaku24Racks   int     `json:"fugaku_24racks,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	WorstNodes      int     `json:"worst_nodes,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+	Iterations      int     `json:"iterations,omitempty"`
+}
+
+// FaultSection configures the fault-injection degradation sweep.
+type FaultSection struct {
+	Platform    string    `json:"platform,omitempty"` // default "fugaku"
+	Intensities []float64 `json:"intensities,omitempty"`
+	Jobs        int       `json:"jobs,omitempty"`
+	Nodes       int       `json:"nodes,omitempty"`
+	Seed        int64     `json:"seed,omitempty"`
+}
+
+// LoadSpec reads and validates a declarative campaign spec.
+func LoadSpec(path string) (*Spec, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Spec
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, fmt.Errorf("campaigns: parsing %s: %w", path, err)
+	}
+	if s.Name == "" {
+		s.Name = "sweep"
+	}
+	return &s, nil
+}
+
+// Table2Config resolves the section against the paper-scale defaults.
+func (t *Table2Section) Table2Config() core.Table2Config {
+	cfg := core.DefaultTable2Config()
+	if t.Nodes > 0 {
+		cfg.Nodes = t.Nodes
+	}
+	if t.DurationSeconds > 0 {
+		cfg.Duration = time.Duration(t.DurationSeconds * float64(time.Second))
+	}
+	if t.Seed != 0 {
+		cfg.Seed = t.Seed
+	}
+	return cfg
+}
+
+// Figure4Config resolves the section against the laptop-scale defaults.
+func (f *Figure4Section) Figure4Config() core.Figure4Config {
+	cfg := core.DefaultFigure4Config()
+	if f.OFPNodes > 0 {
+		cfg.OFPNodes = f.OFPNodes
+	}
+	if f.FugakuFullNodes > 0 {
+		cfg.FugakuFullNodes = f.FugakuFullNodes
+	}
+	if f.Fugaku24Racks > 0 {
+		cfg.Fugaku24Racks = f.Fugaku24Racks
+	}
+	if f.DurationSeconds > 0 {
+		cfg.Duration = time.Duration(f.DurationSeconds * float64(time.Second))
+	}
+	if f.WorstNodes > 0 {
+		cfg.WorstNodes = f.WorstNodes
+	}
+	if f.Seed != 0 {
+		cfg.Seed = f.Seed
+	}
+	return cfg
+}
+
+func (f *Figure4Section) iterations() int {
+	if f.Iterations < 1 {
+		return 1
+	}
+	return f.Iterations
+}
+
+// FaultSpecs resolves the section into concrete sweep points.
+func (f *FaultSection) FaultSpecs() []FaultPointSpec {
+	platform := f.Platform
+	if platform == "" {
+		platform = "fugaku"
+	}
+	intensities := f.Intensities
+	if len(intensities) == 0 {
+		intensities = []float64{0, 0.5, 1, 2, 4}
+	}
+	jobs, nodes, seed := f.Jobs, f.Nodes, f.Seed
+	if jobs <= 0 {
+		jobs = 6
+	}
+	if nodes <= 0 {
+		nodes = 8
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	return FaultPoints(platform, intensities, DefaultFaultRates(), jobs, nodes, seed)
+}
+
+// Campaign builds the combined campaign the spec describes. Trial keys are
+// namespaced per family, so the sections coexist in one trial matrix.
+func (s *Spec) Campaign() (*sweep.Campaign, error) {
+	c := &sweep.Campaign{Name: s.Name, Seed: s.Seed}
+
+	var figSpecs []core.FigureSpec
+	for _, f := range s.Figures {
+		switch f {
+		case "5":
+			figSpecs = append(figSpecs, core.Figure5Specs()...)
+		case "6":
+			figSpecs = append(figSpecs, core.Figure6Specs()...)
+		case "7":
+			figSpecs = append(figSpecs, core.Figure7Specs()...)
+		default:
+			return nil, fmt.Errorf("campaigns: unknown figure %q (want 5, 6 or 7)", f)
+		}
+	}
+	for _, a := range s.Apps {
+		p := platformName(a.Platform)
+		figSpecs = append(figSpecs, core.FigureSpec{
+			Figure: "custom", Platform: p, App: a.App, Nodes: a.Nodes,
+		})
+	}
+	if len(figSpecs) > 0 {
+		fc, err := FigurePoints(s.Name, figSpecs, s.Seeds, s.Runs, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c.Trials = append(c.Trials, fc.Trials...)
+	}
+	if s.Table2 != nil {
+		c.Trials = append(c.Trials, Table2(s.Table2.Table2Config(), s.Seed).Trials...)
+	}
+	if s.Figure4 != nil {
+		f4 := Figure4(s.Figure4.Figure4Config(), s.Figure4.iterations(), s.Seed)
+		c.Trials = append(c.Trials, f4.Trials...)
+	}
+	if s.Fault != nil {
+		c.Trials = append(c.Trials, FaultSweep(s.Name, s.Fault.FaultSpecs(), s.Seed).Trials...)
+	}
+	if len(c.Trials) == 0 {
+		return nil, fmt.Errorf("campaigns: spec %q enumerates no trials", s.Name)
+	}
+	return c, nil
+}

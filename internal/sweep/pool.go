@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runPool executes fn(i) for every index in pending on a bounded pool of
+// worker goroutines. Indices are handed out through a channel, so completion
+// order is whatever the scheduler produces — nothing downstream may depend on
+// it (the collector re-sorts by trial key).
+func runPool(workers int, pending []int, fn func(i int)) {
+	if len(pending) == 0 {
+		return
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				fn(i)
+			}
+		}()
+	}
+	for _, i := range pending {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// progress prints throttled "done/total, ETA" lines while a campaign runs.
+// It is display-only: nothing it computes feeds back into results.
+type progress struct {
+	opts    Options
+	name    string
+	total   int
+	cached  int
+	start   time.Time
+	mu      sync.Mutex
+	lastOut time.Time
+	done_   atomic.Int64
+	failed  atomic.Int64
+}
+
+func newProgress(name string, total, cached int, opts Options) *progress {
+	p := &progress{opts: opts, name: name, total: total, cached: cached, start: time.Now()}
+	if opts.Progress != nil && cached > 0 {
+		fmt.Fprintf(opts.Progress, "sweep %s: %d/%d trials satisfied from cache\n", name, cached, total)
+	}
+	return p
+}
+
+// done records one finished trial and maybe emits a progress line.
+func (p *progress) done(r TrialResult) {
+	n := p.done_.Add(1)
+	if r.Err != "" {
+		p.failed.Add(1)
+	}
+	if p.opts.Progress == nil {
+		return
+	}
+	every := p.opts.ProgressEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	executedTotal := p.total - p.cached
+	if now.Sub(p.lastOut) < every && int(n) != executedTotal {
+		return
+	}
+	p.lastOut = now
+	elapsed := now.Sub(p.start)
+	line := fmt.Sprintf("sweep %s: %d/%d trials", p.name, p.cached+int(n), p.total)
+	if f := p.failed.Load(); f > 0 {
+		line += fmt.Sprintf(" (%d failed)", f)
+	}
+	if int(n) < executedTotal && n > 0 {
+		eta := time.Duration(float64(elapsed) / float64(n) * float64(executedTotal-int(n)))
+		line += fmt.Sprintf(", ETA %v", eta.Round(time.Second))
+	}
+	fmt.Fprintf(p.opts.Progress, "%s\n", line)
+}
+
+// finish emits the closing line.
+func (p *progress) finish() {
+	if p.opts.Progress == nil {
+		return
+	}
+	fmt.Fprintf(p.opts.Progress, "sweep %s: finished %d trials (%d cached, %d failed) in %v\n",
+		p.name, p.total, p.cached, p.failed.Load(), time.Since(p.start).Round(time.Millisecond))
+}

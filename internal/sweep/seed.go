@@ -1,0 +1,27 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// DeriveSeed maps (campaign seed, trial key) to the trial's private seed by
+// hashing both through SHA-256. The derivation is the determinism linchpin of
+// the whole subsystem: a trial's seed depends only on its identity, never on
+// which worker picked it up or how many trials finished before it, so any
+// worker count — and any enumeration order — reproduces identical trials.
+//
+// The result is always positive (the sign bit is cleared and zero maps to 1):
+// several simulator components treat seeds as positive identifiers, and a
+// campaign seed of 0 must still fan out to distinct per-trial seeds.
+func DeriveSeed(campaignSeed int64, key string) int64 {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\x00%s", campaignSeed, key)
+	sum := h.Sum(nil)
+	v := int64(binary.BigEndian.Uint64(sum[:8]) &^ (1 << 63))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

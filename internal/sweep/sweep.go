@@ -1,0 +1,331 @@
+// Package sweep is the campaign-orchestration subsystem: it fans independent
+// simulation trials out over a bounded worker pool and merges their results,
+// telemetry and failure output back into byte-identical artifacts regardless
+// of worker count or completion order.
+//
+// The paper's evaluation (Figures 3-7, Tables 2-5) is a large trial matrix —
+// per-benchmark, per-node-count, per-kernel-config, per-seed — and every
+// point is an independent deterministic simulation. That independence is the
+// whole contract here:
+//
+//   - Each trial runs on one worker goroutine against its own telemetry sink
+//     (telemetry.RunWith), so concurrent trials never share mutable state.
+//   - Per-trial seeds derive from the campaign seed and the trial key
+//     (DeriveSeed) — never from worker index or completion order — so adding
+//     workers cannot change any trial's inputs.
+//   - The collector sorts results by trial key before merging payloads,
+//     metric registries and trace buffers, so the merged artifacts are
+//     byte-identical at -j 1 and -j 8, and under a shuffled trial order.
+//   - Completed trials are cached on disk keyed by a content hash of the
+//     trial spec, derived seed and code version; a re-run executes only the
+//     trials whose inputs changed.
+//   - A panicking trial fails that trial (the panic is captured into its
+//     result), not the campaign.
+//
+// Wall-clock measurements (per-trial runtimes, pool utilization, ETA) are
+// inherently non-deterministic and therefore live in a separate ops registry
+// (Outcome.Ops), never in the merged deterministic registry — the same
+// split the telemetry package makes between Registry and Profiler.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"mkos/internal/telemetry"
+)
+
+// Trial is one independent unit of campaign work.
+type Trial struct {
+	// Key is the trial's canonical identity: unique within the campaign,
+	// stable across runs, and the sort key for every merge. Keys should be
+	// path-like ("fig5/oakforest-pacs/AMG2013/n000256") so merged artifacts
+	// group naturally.
+	Key string
+	// Spec is the trial's full parameter set. It must marshal to JSON
+	// deterministically (structs and sorted-key maps); the marshaled form is
+	// part of the cache key, so any parameter change re-executes the trial.
+	Spec any
+	// Run executes the trial and returns its payload, which must marshal to
+	// JSON (it is cached and handed back to the merge step). Run executes
+	// with t.Sink installed as the goroutine's telemetry sink.
+	Run func(t *T) (any, error)
+}
+
+// T is the context handed to a running trial.
+type T struct {
+	// Key echoes the trial key.
+	Key string
+	// Seed is the trial's deterministic seed, derived from the campaign seed
+	// and the trial key. Trials whose spec pins explicit seeds may ignore it.
+	Seed int64
+	// Sink is the trial's isolated telemetry sink. It is already installed
+	// as the goroutine-local default, so instrumented subsystems need no
+	// plumbing; it is exposed for trials that want direct access.
+	Sink *telemetry.Sink
+}
+
+// Campaign is an enumerated set of trials plus the seed they derive from.
+type Campaign struct {
+	Name   string
+	Seed   int64
+	Trials []Trial
+}
+
+// Options configures one campaign run.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// CacheDir enables the on-disk result cache when non-empty.
+	CacheDir string
+	// Version augments the cache key; empty selects CodeVersion(). Bump it
+	// (or change the code revision) to invalidate every cached trial.
+	Version string
+	// Trace enables per-trial trace recorders; the merged trace is exposed
+	// as Outcome.Recorder. Cached trials contribute no trace events (they
+	// never re-execute), so traces are only complete on a cold run.
+	Trace bool
+	// Progress receives human-readable progress/ETA lines when non-nil.
+	Progress io.Writer
+	// ProgressEvery throttles progress lines; <= 0 means every 2 seconds.
+	ProgressEvery time.Duration
+}
+
+// TrialResult is one trial's outcome. The JSON form is what the cache stores
+// and what cmd/sweep writes into results.json; wall-clock fields are excluded
+// from it so cached and executed runs serialize identically.
+type TrialResult struct {
+	Key     string              `json:"key"`
+	Seed    int64               `json:"seed"`
+	Payload json.RawMessage     `json:"payload,omitempty"`
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
+	Err     string              `json:"err,omitempty"`
+
+	// Cached reports whether the result was loaded from the cache rather
+	// than executed. Wall is the execution time (zero when cached). Both are
+	// host-side observations, not part of the deterministic artifact.
+	Cached bool          `json:"-"`
+	Wall   time.Duration `json:"-"`
+}
+
+// Outcome is the merged result of a campaign run.
+type Outcome struct {
+	Name string
+	// Results holds every trial result sorted by Key.
+	Results []TrialResult
+	// Registry is the deterministic merged metrics registry: per-trial
+	// snapshots folded in Key order.
+	Registry *telemetry.Registry
+	// Recorder holds the merged per-trial traces (Key order); nil unless
+	// Options.Trace was set.
+	Recorder *telemetry.Recorder
+	// Ops carries the non-deterministic operational metrics of the run
+	// itself: pool size and utilization, per-trial wall-time histogram,
+	// executed/cached/failed counters. Never merge it into Registry.
+	Ops *telemetry.Registry
+	// Executed, Cached and Failed partition the trials. Elapsed is the
+	// campaign wall time.
+	Executed, Cached, Failed int
+	Elapsed                  time.Duration
+}
+
+// Result returns the trial result for key, if present.
+func (o *Outcome) Result(key string) (TrialResult, bool) {
+	i := sort.Search(len(o.Results), func(i int) bool { return o.Results[i].Key >= key })
+	if i < len(o.Results) && o.Results[i].Key == key {
+		return o.Results[i], true
+	}
+	return TrialResult{}, false
+}
+
+// Payload unmarshals the named trial's payload into v. It fails on unknown
+// keys and on trials that ended in error (their payload is absent).
+func (o *Outcome) Payload(key string, v any) error {
+	r, ok := o.Result(key)
+	if !ok {
+		return fmt.Errorf("sweep: campaign %q has no trial %q", o.Name, key)
+	}
+	if r.Err != "" {
+		return fmt.Errorf("sweep: trial %q failed: %s", key, r.Err)
+	}
+	if err := json.Unmarshal(r.Payload, v); err != nil {
+		return fmt.Errorf("sweep: decoding payload of %q: %w", key, err)
+	}
+	return nil
+}
+
+// FirstErr returns the first failed trial's error in key order, nil if the
+// campaign was clean.
+func (o *Outcome) FirstErr() error {
+	for _, r := range o.Results {
+		if r.Err != "" {
+			return fmt.Errorf("sweep: trial %q: %s", r.Key, r.Err)
+		}
+	}
+	return nil
+}
+
+// MergeTelemetry folds the campaign's deterministic telemetry into sink: the
+// merged registry is added as a snapshot and, when tracing was on, the merged
+// trace buffer is appended to the sink's recorder. Commands use it to land
+// campaign telemetry in the process-wide sink before writing -metrics/-trace
+// artifacts.
+func (o *Outcome) MergeTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	if o.Registry != nil {
+		sink.Registry().AddSnapshot(o.Registry.Snapshot())
+	}
+	if o.Recorder != nil {
+		sink.Recorder().MergeFrom(o.Recorder)
+	}
+}
+
+// Run executes the campaign and merges its results deterministically.
+//
+// Only campaign-level problems (duplicate keys, an unusable cache directory)
+// are returned as errors; individual trial failures — including panics — are
+// captured per trial and surface through Outcome.Failed / FirstErr.
+func Run(c *Campaign, opts Options) (*Outcome, error) {
+	start := time.Now()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	// Sort trials by key up front: enumeration order must not matter, and a
+	// duplicate key would make the merge ambiguous.
+	trials := append([]Trial(nil), c.Trials...)
+	sort.Slice(trials, func(i, j int) bool { return trials[i].Key < trials[j].Key })
+	for i := 1; i < len(trials); i++ {
+		if trials[i].Key == trials[i-1].Key {
+			return nil, fmt.Errorf("sweep: campaign %q: duplicate trial key %q", c.Name, trials[i].Key)
+		}
+	}
+
+	var cache *diskCache
+	if opts.CacheDir != "" {
+		var err error
+		if cache, err = openCache(opts.CacheDir, opts.Version); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Outcome{Name: c.Name, Registry: telemetry.NewRegistry(), Ops: telemetry.NewRegistry()}
+	if opts.Trace {
+		out.Recorder = telemetry.NewRecorder(0)
+	}
+
+	// Probe the cache, collecting the trials that still need to run.
+	results := make([]TrialResult, len(trials))
+	recorders := make([]*telemetry.Recorder, len(trials))
+	var pending []int
+	for i, t := range trials {
+		seed := DeriveSeed(c.Seed, t.Key)
+		if cache != nil {
+			if r, ok := cache.load(t, seed); ok {
+				results[i] = r
+				continue
+			}
+		}
+		results[i] = TrialResult{Key: t.Key, Seed: seed}
+		pending = append(pending, i)
+	}
+
+	prog := newProgress(c.Name, len(trials), len(trials)-len(pending), opts)
+	runPool(workers, pending, func(i int) {
+		t := trials[i]
+		res, rec := runTrial(t, results[i].Seed, opts.Trace)
+		results[i] = res
+		recorders[i] = rec
+		if cache != nil && res.Err == "" {
+			cache.store(t, res)
+		}
+		prog.done(res)
+	})
+	prog.finish()
+
+	// Deterministic merge: everything folds in key order.
+	for i, r := range results {
+		out.Results = append(out.Results, r)
+		out.Registry.AddSnapshot(r.Metrics)
+		if out.Recorder != nil && recorders[i] != nil {
+			out.Recorder.MergeFrom(recorders[i])
+		}
+		switch {
+		case r.Cached:
+			out.Cached++
+		case r.Err != "":
+			out.Failed++
+		default:
+			out.Executed++
+		}
+	}
+	out.Elapsed = time.Since(start)
+	fillOps(out, workers, results)
+	return out, nil
+}
+
+// runTrial executes one trial in an isolated sink, converting a panic into a
+// trial error.
+func runTrial(t Trial, seed int64, trace bool) (TrialResult, *telemetry.Recorder) {
+	sink := telemetry.NewSink()
+	if trace {
+		sink.Recorder().Enable()
+	}
+	res := TrialResult{Key: t.Key, Seed: seed}
+	started := time.Now()
+	var payload any
+	var err error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		telemetry.RunWith(sink, func() {
+			payload, err = t.Run(&T{Key: t.Key, Seed: seed, Sink: sink})
+		})
+	}()
+	res.Wall = time.Since(started)
+	res.Metrics = sink.Snapshot()
+	if err != nil {
+		res.Err = err.Error()
+		return res, sink.Recorder()
+	}
+	if payload != nil {
+		blob, merr := json.Marshal(payload)
+		if merr != nil {
+			res.Err = fmt.Sprintf("encoding payload: %v", merr)
+			return res, sink.Recorder()
+		}
+		res.Payload = blob
+	}
+	return res, sink.Recorder()
+}
+
+// fillOps publishes the run's operational (wall-clock) metrics.
+func fillOps(o *Outcome, workers int, results []TrialResult) {
+	o.Ops.Gauge("sweep.pool.workers").Set(float64(workers))
+	o.Ops.Counter("sweep.trials.executed").Add(int64(o.Executed))
+	o.Ops.Counter("sweep.trials.cached").Add(int64(o.Cached))
+	o.Ops.Counter("sweep.trials.failed").Add(int64(o.Failed))
+	h := o.Ops.Histogram("sweep.trial_wall_ms", telemetry.ExpBuckets(1, 4, 10))
+	var busy time.Duration
+	for _, r := range results {
+		if r.Cached {
+			continue
+		}
+		h.Observe(float64(r.Wall) / float64(time.Millisecond))
+		busy += r.Wall
+	}
+	if o.Elapsed > 0 && workers > 0 {
+		util := busy.Seconds() / (o.Elapsed.Seconds() * float64(workers))
+		o.Ops.Gauge("sweep.pool.utilization").Set(util)
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+// Snapshot is a point-in-time, JSON-serializable copy of a Registry. It is
+// the unit of telemetry transport for the sweep subsystem: each simulation
+// trial runs against its own Registry, snapshots it on completion, and the
+// campaign collector folds the snapshots into one merged registry in trial-key
+// order — so the merged dump is byte-identical no matter how many workers ran
+// the trials or in what order they finished. Snapshots also ride inside the
+// on-disk result cache, which is why every field is exported and the maps use
+// plain JSON-friendly types (encoding/json emits map keys sorted, keeping the
+// serialized form deterministic too).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is the full state of one fixed-bucket histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1; last is +Inf
+	Sum    float64   `json:"sum"`
+	N      int64     `json:"n"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			h.mu.Lock()
+			s.Histograms[name] = HistogramSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: append([]int64(nil), h.counts...),
+				Sum:    h.sum, N: h.n, Min: h.min, Max: h.max,
+			}
+			h.mu.Unlock()
+		}
+	}
+	return s
+}
+
+// AddSnapshot merges s into the registry: counters add, gauges keep the
+// maximum (the only gauge the simulator publishes is a high-water mark, and
+// max is the one order-independent combination), histograms add bucket
+// counts. Histogram bounds come from the code that created them, so two
+// snapshots of the same metric always agree; if they ever do not, the
+// incoming counts are rebucketed into the existing layout's +Inf-terminated
+// buckets by upper bound.
+//
+// Folding the same sequence of snapshots in the same order always produces
+// the same registry state — the float histogram sums accumulate in fold
+// order — which is what the sweep collector relies on for byte-identical
+// merged dumps.
+func (r *Registry) AddSnapshot(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		r.Counter(name).Add(s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		r.Gauge(name).SetMax(s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		h := r.Histogram(name, hs.Bounds)
+		h.mu.Lock()
+		if len(hs.Counts) == len(h.counts) {
+			for i, c := range hs.Counts {
+				h.counts[i] += c
+			}
+		} else {
+			// Layout mismatch: rebucket by upper bound.
+			for i, c := range hs.Counts {
+				if c == 0 {
+					continue
+				}
+				v := hs.Max
+				if i < len(hs.Bounds) {
+					v = hs.Bounds[i]
+				}
+				idx := len(h.counts) - 1
+				for j, b := range h.bounds {
+					if v <= b {
+						idx = j
+						break
+					}
+				}
+				h.counts[idx] += c
+			}
+		}
+		if hs.N > 0 {
+			if h.n == 0 || hs.Min < h.min {
+				h.min = hs.Min
+			}
+			if h.n == 0 || hs.Max > h.max {
+				h.max = hs.Max
+			}
+			h.sum += hs.Sum
+			h.n += hs.N
+		}
+		h.mu.Unlock()
+	}
+}
+
+// Snapshot copies the sink's registry state.
+func (s *Sink) Snapshot() *Snapshot { return s.reg.Snapshot() }

@@ -21,6 +21,7 @@ package telemetry
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mkos/internal/sim"
 )
@@ -55,13 +56,65 @@ func (s *Sink) AttachEngine(e *sim.Engine) { s.prof.Attach(e) }
 var (
 	defaultMu sync.RWMutex
 	std       = NewSink()
+
+	// Goroutine-local sink overrides, installed by RunWith. activeLocals
+	// gates the gid lookup so Default() costs one atomic load extra when no
+	// sweep is running.
+	localMu      sync.Mutex
+	localSinks   = map[uint64]*Sink{}
+	activeLocals atomic.Int64
 )
 
-// Default returns the process-wide sink.
+// Default returns the sink for the calling goroutine: the one installed by a
+// surrounding RunWith if there is one, the process-wide sink otherwise.
 func Default() *Sink {
+	if activeLocals.Load() != 0 {
+		id := gid()
+		localMu.Lock()
+		s := localSinks[id]
+		localMu.Unlock()
+		if s != nil {
+			return s
+		}
+	}
 	defaultMu.RLock()
 	defer defaultMu.RUnlock()
 	return std
+}
+
+// RunWith runs fn with s installed as the calling goroutine's sink: every
+// package-level helper (C, G, H, Span, Instant, TraceEnabled, AttachEngine)
+// reached from fn on this goroutine publishes into s instead of the
+// process-wide sink. This is what lets a parallel sweep give each simulation
+// trial an isolated registry and recorder — the instrumented subsystems keep
+// their zero-plumbing call sites, and per-trial telemetry can be merged in a
+// deterministic order afterwards.
+//
+// The override covers only the calling goroutine; goroutines spawned from fn
+// see the process-wide sink (the simulator itself never spawns any — each
+// trial runs its whole event loop on one goroutine). Calls nest: the previous
+// override is restored when fn returns. A nil s installs a fresh empty sink.
+func RunWith(s *Sink, fn func()) {
+	if s == nil {
+		s = NewSink()
+	}
+	id := gid()
+	localMu.Lock()
+	prev, nested := localSinks[id]
+	localSinks[id] = s
+	localMu.Unlock()
+	activeLocals.Add(1)
+	defer func() {
+		localMu.Lock()
+		if nested {
+			localSinks[id] = prev
+		} else {
+			delete(localSinks, id)
+		}
+		localMu.Unlock()
+		activeLocals.Add(-1)
+	}()
+	fn()
 }
 
 // SetDefault replaces the process-wide sink and returns the previous one.

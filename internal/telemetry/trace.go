@@ -112,6 +112,30 @@ func (r *Recorder) record(ev traceEvent) {
 	r.dropped++
 }
 
+// MergeFrom appends every buffered event of o (oldest first) into r's ring,
+// regardless of whether r is currently enabled — merging is an export-side
+// operation, not recording. The sweep collector merges per-trial recorders in
+// trial-key order, so the merged buffer (and any ring overwrites it causes)
+// is deterministic and independent of worker count.
+func (r *Recorder) MergeFrom(o *Recorder) {
+	if o == nil || r == o {
+		return
+	}
+	events := o.snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ev := range events {
+		if len(r.buf) < r.cap {
+			r.buf = append(r.buf, ev)
+			continue
+		}
+		r.buf[r.head] = ev
+		r.head = (r.head + 1) % r.cap
+		r.full = true
+		r.dropped++
+	}
+}
+
 // snapshot returns the buffered events oldest first.
 func (r *Recorder) snapshot() []traceEvent {
 	r.mu.Lock()
