@@ -2,6 +2,7 @@ package apps
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"mkos/internal/noise"
@@ -94,9 +95,18 @@ type FTQAnalysis struct {
 
 // Analyze reduces a run to its noise metrics.
 func (r *FTQRun) Analyze() (FTQAnalysis, error) {
+	// Fold cores in sorted order so `all` has a deterministic layout;
+	// today's statistics are order-free integer folds, but an
+	// order-dependent intermediate is exactly the latent bug the
+	// maporder analyzer exists to keep out.
+	cores := make([]int, 0, len(r.PerCore))
+	for core := range r.PerCore {
+		cores = append(cores, core)
+	}
+	sort.Ints(cores)
 	var all []int64
-	for _, counts := range r.PerCore {
-		all = append(all, counts...)
+	for _, core := range cores {
+		all = append(all, r.PerCore[core]...)
 	}
 	if len(all) == 0 {
 		return FTQAnalysis{}, ErrBadFTQConfig

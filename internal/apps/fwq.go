@@ -6,6 +6,7 @@ package apps
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"mkos/internal/noise"
@@ -88,11 +89,7 @@ func sortedKeys(m map[int][]time.Duration) []int {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Ints(keys)
 	return keys
 }
 

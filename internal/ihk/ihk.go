@@ -10,6 +10,7 @@ package ihk
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mkos/internal/linux"
@@ -101,12 +102,7 @@ func (m *Manager) ReservedCPUs() []int {
 	for c := range m.reservedCores {
 		out = append(out, c)
 	}
-	// insertion sort; core counts are small
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out)
 	return out
 }
 
