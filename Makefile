@@ -2,7 +2,7 @@ GO ?= go
 J ?= 0
 SWEEP_SPEC ?= specs/ci-sweep.json
 
-.PHONY: all build fmt vet test race check determinism sweep sweep-race sweep-determinism bench-sweep
+.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism bench-sweep
 
 all: check
 
@@ -16,6 +16,20 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs simlint, the bespoke determinism-and-invariant multichecker
+# (walltime, globalrand, maporder, sinkdiscipline, simtime — see
+# internal/lint/README.md). Exits 1 on any finding; suppress a justified
+# one with //simlint:allow <check> — <reason>.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+# lint-fix runs simlint and prints the findings as a bare file:line list
+# for jumping through in an editor. simlint never rewrites code: whether
+# a finding wants a sorted-key fold, an engine-clock read or a reasoned
+# suppression is a judgment call the diagnostics inform but don't make.
+lint-fix:
+	$(GO) run ./cmd/simlint -l ./...
 
 test:
 	$(GO) test ./...
@@ -66,6 +80,7 @@ determinism:
 	cmp /tmp/mkos-det-1.txt /tmp/mkos-det-2.txt
 	@echo "telemetry artifacts byte-identical across runs"
 
-# check is what CI runs: formatting, vet, build, the full suite under the
-# race detector, and both determinism gates.
-check: fmt vet build race determinism sweep-determinism
+# check is what CI runs: formatting, vet, the simlint invariant gate,
+# build, the full suite under the race detector, and both determinism
+# gates.
+check: fmt vet lint build race determinism sweep-determinism

@@ -1,0 +1,82 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, shaped API-for-API so the simlint
+// analyzers read exactly like upstream go/analysis passes and can be
+// ported onto the real multichecker with a one-line import change.
+//
+// Why not the real thing: this repository builds with zero external
+// module dependencies (the determinism CI runs fully offline), and
+// x/tools is not vendored. Everything the five simlint analyzers need —
+// parsed files, full go/types information, position reporting — is
+// available from the standard library: go/parser for syntax,
+// go/importer's source importer for type-checking module-local imports
+// without export data, and go/token for positions. See
+// internal/lint/README.md for the analyzer catalogue.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. The shape mirrors
+// x/tools/go/analysis.Analyzer minus the Requires/ResultOf plumbing,
+// which simlint's five independent syntax+types passes do not need.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -checks filters and
+	// //simlint:allow suppressions. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph invariant statement printed by -help.
+	Doc string
+	// Run executes the analyzer over one package and reports findings
+	// through the pass. A non-nil error aborts the whole simlint run
+	// (exit 2), so analyzers reserve it for internal invariant failures,
+	// never for findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token.Pos values in Files to file:line:column.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, test files excluded.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds Uses/Defs/Types/Selections for Files.
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a concrete source position.
+type Diagnostic struct {
+	// Check is the reporting analyzer's name ("simlint" for diagnostics
+	// produced by the driver itself, e.g. malformed allow directives).
+	Check string
+	// Pos is the raw token position within the run's FileSet.
+	Pos token.Pos
+	// Position is Pos resolved to file, line and column.
+	Position token.Position
+	// Message states the violated invariant.
+	Message string
+}
+
+// String renders the go-vet-style "file:line:col: [check] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Check, d.Message)
+}

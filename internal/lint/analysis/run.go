@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Run executes every analyzer over every package, applies each package's
+// //simlint:allow suppressions, and returns the surviving diagnostics
+// sorted by (file, line, column, check, message) — the order is part of
+// the determinism contract simlint itself enforces, so its own output is
+// byte-stable across runs and -j levels of the caller.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		all = append(all, applySuppressions(pkg, diags, known)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}
+
+// jsonFinding is the machine-readable form of one diagnostic, consumed by
+// the CI annotation step.
+type jsonFinding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// WriteJSON emits the diagnostics as a single JSON document:
+// {"findings": [...]} with findings in the Run sort order. An empty run
+// emits an empty (non-null) findings array so consumers can index
+// unconditionally.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			Check:   d.Check,
+			File:    d.Position.Filename,
+			Line:    d.Position.Line,
+			Col:     d.Position.Column,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Findings []jsonFinding `json:"findings"`
+	}{findings})
+}

@@ -1,0 +1,52 @@
+package checks_test
+
+import (
+	"testing"
+
+	"mkos/internal/lint/checks"
+	"mkos/internal/lint/linttest"
+)
+
+// Each corpus demonstrates at least one caught violation (want-comment)
+// and one accepted suppression (//simlint:allow with no want).
+
+func TestWalltime(t *testing.T) {
+	linttest.Run(t, checks.Walltime, "testdata/walltime", "mkos/internal/fake/walltime")
+}
+
+// TestWalltimeOpsAllowlist loads the same kind of code under a cmd/
+// path, where the host clock is legal: zero findings expected.
+func TestWalltimeOpsAllowlist(t *testing.T) {
+	linttest.Run(t, checks.Walltime, "testdata/walltime_ops", "mkos/cmd/fake")
+}
+
+func TestGlobalrand(t *testing.T) {
+	linttest.Run(t, checks.Globalrand, "testdata/globalrand", "mkos/internal/fake/globalrand")
+}
+
+// TestGlobalrandSimPackage checks the one import exemption: a package
+// path ending in internal/sim may wrap math/rand, but still may not
+// draw from the global source.
+func TestGlobalrandSimPackage(t *testing.T) {
+	linttest.Run(t, checks.Globalrand, "testdata/globalrand_sim", "mkos/fake/internal/sim")
+}
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, checks.Maporder, "testdata/maporder", "mkos/internal/fake/maporder")
+}
+
+func TestSinkdiscipline(t *testing.T) {
+	linttest.Run(t, checks.Sinkdiscipline, "testdata/sinkdiscipline", "mkos/internal/fake/sinkdiscipline")
+}
+
+func TestSimtime(t *testing.T) {
+	linttest.Run(t, checks.Simtime, "testdata/simtime", "mkos/internal/fake/simtime")
+}
+
+// TestSuppressionHandling exercises the directive grammar and scoping
+// against a real analyzer: missing reason fails, unknown check name
+// fails, an own-line directive covers only the next statement, and a
+// trailing directive covers only its line.
+func TestSuppressionHandling(t *testing.T) {
+	linttest.Run(t, checks.Walltime, "testdata/suppress", "mkos/internal/fake/suppress")
+}

@@ -1,0 +1,93 @@
+package checks
+
+import (
+	"go/ast"
+	"strconv"
+
+	"mkos/internal/lint/analysis"
+)
+
+// Globalrand forbids the process-global math/rand source and unseeded
+// generators.
+//
+// Every random draw in the simulator flows through sim.Rand, which is
+// seeded explicitly and derives stable per-node/per-core sub-streams
+// (sim.Rand.Derive) — that is what makes a trial's inputs a pure
+// function of (campaign seed, trial key). Top-level math/rand functions
+// draw from a shared, racy, auto-seeded source: any call site changes
+// every subsequent draw in the process, so adding a trial would perturb
+// all others. The analyzer reports (1) importing math/rand anywhere but
+// internal/sim (the sim.Rand implementation), (2) calling top-level
+// math/rand draw functions in any package, and (3) rand.New whose source
+// is not constructed inline from an explicit seed.
+var Globalrand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid top-level math/rand functions and unseeded rand.New; " +
+		"all randomness must flow through sim.Rand",
+	Run: runGlobalrand,
+}
+
+// randConstructors are the math/rand (and v2) functions legal inside
+// internal/sim: they build a generator from an explicit seed rather than
+// drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func runGlobalrand(pass *analysis.Pass) error {
+	simPkg := fromPath(pass.Pkg.Path(), "internal/sim")
+	for _, f := range pass.Files {
+		if !simPkg {
+			for _, imp := range f.Imports {
+				if p, err := strconv.Unquote(imp.Path.Value); err == nil && isRandPkg(p) {
+					pass.Reportf(imp.Pos(),
+						"package %s imports %s: all randomness must flow through sim.Rand "+
+							"(seeded, derivable sub-streams); only internal/sim may wrap math/rand",
+						pass.Pkg.Path(), p)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass.TypesInfo, call)
+			if !isRandPkg(objPkgPath(obj)) || isMethod(obj) {
+				return true
+			}
+			switch {
+			case !randConstructors[obj.Name()]:
+				pass.Reportf(call.Pos(),
+					"top-level rand.%s draws from the process-global math/rand source: "+
+						"route randomness through sim.Rand so draws are a pure function of the seed",
+					obj.Name())
+			case obj.Name() == "New" && !seededSourceArg(pass, call):
+				pass.Reportf(call.Pos(),
+					"rand.New without an inline seeded source: construct the generator as "+
+						"rand.New(rand.NewSource(seed)) so the seed is auditable at the callsite, "+
+						"or use sim.NewRand",
+				)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seededSourceArg reports whether the first argument of a rand.New call
+// is itself a direct seeded-source constructor call.
+func seededSourceArg(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObj(pass.TypesInfo, inner)
+	return isRandPkg(objPkgPath(obj)) && randConstructors[obj.Name()] && obj.Name() != "New"
+}

@@ -1,0 +1,154 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mkos/internal/lint/analysis"
+)
+
+// Simtime catches event handlers that treat a pre-Schedule clock reading
+// as the current time.
+//
+// Between the call that schedules an event and the event firing, the
+// simulated clock advances; a handler that closes over a variable
+// assigned from e.Now() before Schedule and uses it as "now" computes
+// with a stale instant. The correct pattern reads the clock from the
+// engine the handler receives:
+//
+//	e.Schedule(d, "tick", func(e *sim.Engine) { use(e.Now()) })
+//
+// Capturing a pre-Schedule reading as a deliberate interval start is
+// legitimate — span recording does exactly that — so a closure that also
+// calls .Now() itself is taken to know the difference and is not
+// flagged; only closures that use the stale capture as their sole time
+// source are.
+var Simtime = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "event handlers must take sim-time from the engine, not capture stale Now() " +
+		"values across Schedule boundaries",
+	Run: runSimtime,
+}
+
+// schedulers are the sim-package entry points that defer a handler to a
+// later simulated instant.
+var schedulers = map[string]bool{
+	"Schedule": true, "ScheduleAt": true, "Every": true, "AfterFunc": true,
+}
+
+func runSimtime(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScheduleCaptures(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkScheduleCaptures(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Map every locally-defined variable to its defining expression, so a
+	// captured identifier can be traced back to an e.Now() reading.
+	nowVars := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && isEngineNowCall(pass, st.Rhs[i]) {
+					nowVars[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) != len(st.Values) {
+				return true
+			}
+			for i, id := range st.Names {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil && isEngineNowCall(pass, st.Values[i]) {
+					nowVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(nowVars) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pass.TypesInfo, call)
+		if obj == nil || !fromPkg(obj, "internal/sim") || !schedulers[obj.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			fl, ok := ast.Unparen(arg).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			reportStaleCaptures(pass, fl, nowVars)
+		}
+		return true
+	})
+}
+
+func reportStaleCaptures(pass *analysis.Pass, fl *ast.FuncLit, nowVars map[types.Object]bool) {
+	// A handler that reads the clock itself is using the capture as an
+	// interval marker, not as "now".
+	readsClock := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isNowCallExpr(pass, call) {
+			readsClock = true
+		}
+		return !readsClock
+	})
+	if readsClock {
+		return
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !nowVars[obj] {
+			return true
+		}
+		// Captured from outside the literal?
+		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"handler uses %s, a Now() value captured before the Schedule call: by the time the "+
+				"event fires the clock has advanced — read the engine's clock inside the handler "+
+				"(e.Now())", id.Name)
+		return true
+	})
+}
+
+func isEngineNowCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	return ok && isNowCallExpr(pass, call)
+}
+
+// isNowCallExpr reports whether call invokes the sim engine's Now (or a
+// sim-package clock accessor of the same name).
+func isNowCallExpr(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := calleeObj(pass.TypesInfo, call)
+	return obj != nil && obj.Name() == "Now" && fromPkg(obj, "internal/sim")
+}

@@ -1,0 +1,66 @@
+package checks
+
+import (
+	"go/ast"
+
+	"mkos/internal/lint/analysis"
+)
+
+// Sinkdiscipline keeps trial-unit code on the goroutine-local telemetry
+// sink.
+//
+// The sweep orchestrator isolates every trial by installing a private
+// sink for the worker goroutine (telemetry.RunWith) and folding the
+// per-trial snapshots in key order afterwards. That isolation holds only
+// if the code running inside a trial publishes through the package-level
+// helpers (telemetry.C/G/H/Span/Instant), which resolve to the
+// goroutine-local sink. A trial-unit package that calls
+// telemetry.SetDefault or telemetry.Reset swaps the process-wide sink
+// under every concurrent trial, and one that nests telemetry.RunWith
+// re-installs sinks the orchestrator owns — both bleed deterministic
+// metrics into the ops registry (or vice versa) in completion order,
+// which is exactly the nondeterminism the merge protocol exists to
+// prevent. Sink installation belongs to the orchestrator (internal/
+// sweep), to CLI plumbing under cmd/, and to tests (not linted).
+var Sinkdiscipline = &analysis.Analyzer{
+	Name: "sinkdiscipline",
+	Doc: "trial-unit code must publish metrics through the goroutine-local sink; " +
+		"installing or replacing sinks (SetDefault/Reset/RunWith) is orchestrator-only",
+	Run: runSinkdiscipline,
+}
+
+// sinkInstallers are the telemetry functions that install or replace a
+// sink rather than publish into the current one.
+var sinkInstallers = map[string]bool{
+	"SetDefault": true, "Reset": true, "RunWith": true,
+}
+
+func runSinkdiscipline(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	// The telemetry package implements the sink machinery; ops-side
+	// packages own it.
+	if isOpsPackage(path) || fromPath(path, "internal/telemetry") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass.TypesInfo, call)
+			if obj == nil || isMethod(obj) || !fromPkg(obj, "internal/telemetry") ||
+				!sinkInstallers[obj.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"telemetry.%s in trial-unit package %s: deterministic metrics must flow through "+
+					"the goroutine-local sink the orchestrator installs (telemetry.RunWith in "+
+					"internal/sweep); replacing sinks here breaks per-trial isolation and mixes "+
+					"deterministic metrics with the ops registry",
+				obj.Name(), path)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+// Package globalrand is the globalrand analyzer corpus: a deterministic
+// package (not internal/sim) that touches math/rand every forbidden way.
+package globalrand
+
+import "math/rand" // want "imports math/rand: all randomness must flow through sim\\.Rand"
+
+func bad() {
+	_ = rand.Intn(10)                  // want "top-level rand\\.Intn draws from the process-global"
+	rand.Shuffle(2, func(i, j int) {}) // want "top-level rand\\.Shuffle draws from the process-global"
+	src := rand.NewSource(42)
+	_ = rand.New(src) // want "rand\\.New without an inline seeded source"
+}
+
+// seededInline: the constructor chain itself is legal (the import is
+// what gets flagged in a non-sim package); method calls on a seeded
+// generator draw no global state.
+func seededInline() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(10)
+}
+
+func allowed() int64 {
+	//simlint:allow globalrand — corpus example: demo fixture where reproducibility is not required
+	return rand.Int63()
+}

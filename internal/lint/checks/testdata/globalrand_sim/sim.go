@@ -1,0 +1,15 @@
+// Package sim is the globalrand corpus for the one package allowed to
+// import math/rand: a path ending in internal/sim. The import is legal;
+// drawing from the global source still is not.
+package sim
+
+import "math/rand"
+
+// NewSeeded wraps the blessed construction: explicit seed at the callsite.
+func NewSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func bad() int {
+	return rand.Int() // want "top-level rand\\.Int draws from the process-global"
+}

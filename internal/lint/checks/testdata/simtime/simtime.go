@@ -1,0 +1,39 @@
+// Package simtime is the simtime analyzer corpus: handlers that treat a
+// pre-Schedule clock reading as "now" versus the legitimate fresh-read
+// and interval-marker patterns.
+package simtime
+
+import "mkos/internal/sim"
+
+func bad(e *sim.Engine) {
+	t0 := e.Now()
+	e.Schedule(10, "stale", func(e2 *sim.Engine) {
+		use(t0) // want "Now\\(\\) value captured before the Schedule call"
+	})
+}
+
+// goodFresh reads the clock from the engine the handler receives.
+func goodFresh(e *sim.Engine) {
+	e.Schedule(10, "fresh", func(e2 *sim.Engine) {
+		use(e2.Now())
+	})
+}
+
+// goodSpan captures a deliberate interval start; the closure also reads
+// the live clock, so the capture is a marker, not a stale "now".
+func goodSpan(e *sim.Engine) {
+	start := e.Now()
+	e.Schedule(10, "span", func(e2 *sim.Engine) {
+		_ = e2.Now().Sub(start)
+	})
+}
+
+func allowed(e *sim.Engine) {
+	t0 := e.Now()
+	e.Schedule(10, "allowed", func(e2 *sim.Engine) {
+		//simlint:allow simtime — corpus example: handler deliberately records its scheduling instant
+		use(t0)
+	})
+}
+
+func use(t sim.Time) {}

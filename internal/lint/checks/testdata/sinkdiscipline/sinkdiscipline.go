@@ -1,0 +1,24 @@
+// Package sinkdiscipline is the sinkdiscipline analyzer corpus: a
+// trial-unit (deterministic) package touching the sink-installation API
+// it must not own.
+package sinkdiscipline
+
+import "mkos/internal/telemetry"
+
+func bad() {
+	telemetry.Reset()                         // want "telemetry\\.Reset in trial-unit package"
+	telemetry.SetDefault(telemetry.NewSink()) // want "telemetry\\.SetDefault in trial-unit package"
+	telemetry.RunWith(nil, func() {})         // want "telemetry\\.RunWith in trial-unit package"
+}
+
+// good: publishing through the goroutine-local helpers is exactly what
+// trial-unit code should do.
+func good() {
+	telemetry.C("corpus.counter").Add(1)
+	telemetry.G("corpus.gauge").Set(1)
+}
+
+func allowed() {
+	//simlint:allow sinkdiscipline — corpus example: standalone harness that owns the process-wide sink
+	telemetry.Reset()
+}

@@ -1,0 +1,32 @@
+// Package suppress is the corpus for //simlint:allow directive
+// handling: malformed directives are themselves findings, and a valid
+// directive covers exactly the next statement (own-line) or its own
+// line (trailing).
+package suppress
+
+import "time"
+
+func missingReason() {
+	//simlint:allow walltime // want "missing its reason"
+	t := time.Now() // want "wall-clock time\\.Now"
+	_ = t
+}
+
+func wrongCheckName() {
+	//simlint:allow waltime — typo in the check name // want "unknown check \"waltime\""
+	t := time.Now() // want "wall-clock time\\.Now"
+	_ = t
+}
+
+func scopedToNextStatementOnly() {
+	//simlint:allow walltime — corpus example: first statement is covered, second is not
+	t0 := time.Now()
+	t1 := time.Now() // want "wall-clock time\\.Now"
+	_, _ = t0, t1
+}
+
+func trailingCoversItsLineOnly() {
+	t0 := time.Now() //simlint:allow walltime — corpus example: trailing form covers this line
+	t1 := time.Now() // want "wall-clock time\\.Now"
+	_, _ = t0, t1
+}

@@ -1,0 +1,28 @@
+// Package walltime is the walltime analyzer corpus. It loads under a
+// deterministic package path, so every host-clock read is a finding;
+// pure time types and arithmetic are not.
+package walltime
+
+import "time"
+
+const tick = 10 * time.Millisecond
+
+func bad() time.Duration {
+	t0 := time.Now()          // want "wall-clock time\\.Now in deterministic package"
+	time.Sleep(tick)          // want "wall-clock time\\.Sleep in deterministic package"
+	tm := time.NewTimer(tick) // want "wall-clock time\\.NewTimer in deterministic package"
+	tm.Stop()
+	return time.Since(t0) // want "wall-clock time\\.Since in deterministic package"
+}
+
+func allowedProfiling() time.Duration {
+	//simlint:allow walltime — corpus example: host-side profiling read that never enters simulation state
+	start := time.Now()
+	//simlint:allow walltime — corpus example: profiling measurement, not simulation state
+	return time.Since(start)
+}
+
+// good: time arithmetic on pure values carries no ambient clock state.
+func good(d time.Duration) time.Duration {
+	return d + tick
+}

@@ -1,0 +1,12 @@
+// Package ops is the walltime analyzer's ops-side corpus: loaded under
+// a cmd/ package path, where measuring the run with the host clock is
+// the whole point — no findings.
+package ops
+
+import "time"
+
+func Elapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,59 @@
+package checks
+
+import (
+	"go/ast"
+
+	"mkos/internal/lint/analysis"
+)
+
+// Walltime forbids reading the host clock in deterministic packages.
+//
+// The simulator's results derive exclusively from simulated time
+// (sim.Engine.Now) and seeded randomness; a single time.Now() in a model
+// package silently couples an artifact to the machine that produced it,
+// which is exactly the class of bug the byte-identical double-run CI
+// gates detect only after the fact. Wall clock is legal in ops-side code
+// (internal/sweep pool/progress, cmd/* CLI plumbing, examples) where it
+// measures the run, never the model. Deliberate host-side profiling in a
+// deterministic package — the engine's per-handler wall-time observer —
+// carries a //simlint:allow walltime suppression with its reason.
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Sleep and timer construction in deterministic packages; " +
+		"simulated time must come from the engine",
+	Run: runWalltime,
+}
+
+// walltimeForbidden names the time-package functions that read or wait on
+// the host clock. Pure types and constructors (time.Duration,
+// time.Unix) are fine: they carry no ambient state.
+var walltimeForbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWalltime(pass *analysis.Pass) error {
+	if isOpsPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass.TypesInfo, call)
+			if objPkgPath(obj) != "time" || isMethod(obj) || !walltimeForbidden[obj.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"wall-clock time.%s in deterministic package %s: simulated time must come from "+
+					"the engine (sim.Engine.Now, sim.Timer); wall clock is legal only in ops-side "+
+					"packages (internal/sweep, cmd/*)",
+				obj.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

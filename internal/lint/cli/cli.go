@@ -1,0 +1,121 @@
+// Package cli implements the simlint command: flag parsing, the
+// go-vet-style exit-code contract and the two output formats. It lives
+// apart from cmd/simlint so the contract is testable in-process.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"mkos/internal/lint/analysis"
+	"mkos/internal/lint/checks"
+)
+
+// Exit codes, mirroring go vet: clean tree, findings, and
+// usage-or-internal error. CI treats 1 as "annotate and fail the gate"
+// and 2 as "the gate itself is broken".
+const (
+	ExitClean    = 0
+	ExitFindings = 1
+	ExitError    = 2
+)
+
+// Run executes simlint with the given arguments (not including the
+// program name) and returns the process exit code. Diagnostics and the
+// JSON report go to stdout; usage and internal errors go to stderr.
+func Run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON document (for CI annotation)")
+	listOnly := fs.Bool("l", false, "print findings as a bare file:line list (for editors)")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	dir := fs.String("dir", ".", "module root to analyze (directory containing go.mod)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: simlint [-json] [-l] [-checks c1,c2] [-dir root] [./...]\n\n")
+		fmt.Fprintf(stderr, "simlint checks the simulator's determinism and safety invariants.\n")
+		fmt.Fprintf(stderr, "Checks:\n")
+		for _, a := range checks.All() {
+			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nExit: 0 no findings, 1 findings, 2 usage or internal error.\n")
+		fmt.Fprintf(stderr, "Suppress a finding with //simlint:allow <check> — <reason>.\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	// The only accepted package pattern is the whole module; anything
+	// else is a usage error so scripts fail loudly rather than lint a
+	// subset silently.
+	for _, arg := range fs.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(stderr, "simlint: unsupported package pattern %q (only ./... )\n", arg)
+			fs.Usage()
+			return ExitError
+		}
+	}
+
+	analyzers, err := selectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		fs.Usage()
+		return ExitError
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return ExitError
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return ExitError
+	}
+
+	switch {
+	case *jsonOut:
+		if err := analysis.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "simlint: %v\n", err)
+			return ExitError
+		}
+	case *listOnly:
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d\n", d.Position.Filename, d.Position.Line)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// selectChecks resolves the -checks flag to a subset of the suite.
+func selectChecks(spec string) ([]*analysis.Analyzer, error) {
+	all := checks.All()
+	if spec == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	var names []string
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (valid: %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package cli_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mkos/internal/lint/cli"
+)
+
+// writeModule lays out a throwaway module for the loader; package paths
+// under it ("fakemod/...") are deterministic by the ops-allowlist rule,
+// so a planted time.Now is a finding.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fakemod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = `package a
+
+func A(n int) int { return n + 1 }
+`
+
+const dirtySrc = `package b
+
+import "time"
+
+func B() time.Time { return time.Now() }
+`
+
+const brokenSrc = `package c
+
+func C() int { return undefinedSymbol }
+`
+
+// TestExitCodeContract pins the go-vet-style contract: 0 clean, 1
+// findings, 2 usage or internal error.
+func TestExitCodeContract(t *testing.T) {
+	clean := writeModule(t, map[string]string{"a/a.go": cleanSrc})
+	dirty := writeModule(t, map[string]string{"a/a.go": cleanSrc, "b/b.go": dirtySrc})
+	broken := writeModule(t, map[string]string{"c/c.go": brokenSrc})
+
+	tests := []struct {
+		name      string
+		args      []string
+		want      int
+		stdoutHas string
+		stderrHas string
+	}{
+		{name: "clean tree", args: []string{"-dir", clean, "./..."}, want: cli.ExitClean},
+		{name: "findings", args: []string{"-dir", dirty}, want: cli.ExitFindings,
+			stdoutHas: "[walltime] wall-clock time.Now"},
+		{name: "findings as json", args: []string{"-json", "-dir", dirty}, want: cli.ExitFindings,
+			stdoutHas: `"check": "walltime"`},
+		{name: "findings as file:line list", args: []string{"-l", "-dir", dirty}, want: cli.ExitFindings,
+			stdoutHas: "b.go:5"},
+		{name: "check subset skips the finding", args: []string{"-checks", "maporder", "-dir", dirty},
+			want: cli.ExitClean},
+		{name: "unknown flag", args: []string{"-nope"}, want: cli.ExitError},
+		{name: "unknown check", args: []string{"-checks", "nosuch", "-dir", clean}, want: cli.ExitError,
+			stderrHas: `unknown check "nosuch"`},
+		{name: "unsupported package pattern", args: []string{"-dir", clean, "pkg/a"}, want: cli.ExitError,
+			stderrHas: "unsupported package pattern"},
+		{name: "missing module root", args: []string{"-dir", filepath.Join(clean, "nosuchdir")},
+			want: cli.ExitError},
+		{name: "type error is internal", args: []string{"-dir", broken}, want: cli.ExitError,
+			stderrHas: "type-checking"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := cli.Run(tt.args, &stdout, &stderr)
+			if got != tt.want {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tt.want, stdout.String(), stderr.String())
+			}
+			if tt.stdoutHas != "" && !strings.Contains(stdout.String(), tt.stdoutHas) {
+				t.Errorf("stdout missing %q:\n%s", tt.stdoutHas, stdout.String())
+			}
+			if tt.stderrHas != "" && !strings.Contains(stderr.String(), tt.stderrHas) {
+				t.Errorf("stderr missing %q:\n%s", tt.stderrHas, stderr.String())
+			}
+		})
+	}
+}
+
+// TestJSONDocumentShape checks the CI artifact is a well-formed document
+// with the fields the annotation step indexes.
+func TestJSONDocumentShape(t *testing.T) {
+	dirty := writeModule(t, map[string]string{"b/b.go": dirtySrc})
+	var stdout, stderr bytes.Buffer
+	if got := cli.Run([]string{"-json", "-dir", dirty}, &stdout, &stderr); got != cli.ExitFindings {
+		t.Fatalf("exit = %d, want %d; stderr: %s", got, cli.ExitFindings, stderr.String())
+	}
+	var doc struct {
+		Findings []struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Message string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("decoding JSON output: %v\n%s", err, stdout.String())
+	}
+	if len(doc.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1:\n%s", len(doc.Findings), stdout.String())
+	}
+	f := doc.Findings[0]
+	if f.Check != "walltime" || f.Line != 5 || !strings.HasSuffix(f.File, "b.go") || f.Message == "" {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
