@@ -2,7 +2,7 @@ GO ?= go
 J ?= 0
 SWEEP_SPEC ?= specs/ci-sweep.json
 
-.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism bench-sweep
+.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep
 
 all: check
 
@@ -64,6 +64,12 @@ sweep-determinism:
 	cmp /tmp/mkos-sweep-j8/metrics.txt /tmp/mkos-sweep-warm/metrics.txt
 	@echo "sweep artifacts byte-identical at -j 8, -j 1 and from warm cache (0 trials executed)"
 
+# sweep-interrupt asserts the crash-safe resume contract end to end: SIGINT a
+# running campaign, re-run it with the same cache dir, and require zero
+# re-executed trials plus artifacts byte-identical to an uninterrupted run.
+sweep-interrupt:
+	sh scripts/interrupt-resume-check.sh $(SWEEP_SPEC) /tmp/mkos-interrupt-check
+
 # bench-sweep records the orchestrator's scaling benchmarks (serial vs -j N).
 bench-sweep:
 	$(GO) test -run '^$$' -bench BenchmarkCampaign -benchtime 3x ./internal/sweep/
@@ -83,4 +89,4 @@ determinism:
 # check is what CI runs: formatting, vet, the simlint invariant gate,
 # build, the full suite under the race detector, and both determinism
 # gates.
-check: fmt vet lint build race determinism sweep-determinism
+check: fmt vet lint build race determinism sweep-determinism sweep-interrupt

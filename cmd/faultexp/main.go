@@ -17,6 +17,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -58,10 +60,20 @@ func main() {
 
 	intensities := []float64{0, 0.5, 1, 2, 4}
 	specs := campaigns.FaultPoints(p.Name, intensities, campaigns.DefaultFaultRates(), *jobs, *nodes, *seed)
-	o, err := sweep.Run(campaigns.FaultSweep("faultexp", specs, *seed), sweep.Options{
+	// First SIGINT/SIGTERM cancels the campaign — each trial's recovery
+	// engine stops at a deterministic event boundary via the attached cancel
+	// hook — and a second force-exits. Finished points are journaled, so a
+	// re-run with the same -cache-dir resumes.
+	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
+	o, err := sweep.RunContext(ctx, campaigns.FaultSweep("faultexp", specs, *seed), sweep.Options{
 		Workers: *workers, CacheDir: *cacheDir,
 		Trace: *tracePath != "", Progress: os.Stderr,
 	})
+	stopSignals()
+	if errors.Is(err, sweep.ErrInterrupted) {
+		log.Printf("interrupted: %d trials unfinished; re-run with the same -cache-dir to resume", o.Canceled)
+		os.Exit(130)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -100,10 +102,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	o, err := sweep.Run(c, sweep.Options{
+	// First SIGINT/SIGTERM cancels the campaign (finished trials are already
+	// journaled, so a re-run resumes); a second force-exits.
+	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
+	o, err := sweep.RunContext(ctx, c, sweep.Options{
 		Workers: *workers, CacheDir: *cacheDir,
 		Trace: *tracePath != "", Progress: os.Stderr,
 	})
+	stopSignals()
+	if errors.Is(err, sweep.ErrInterrupted) {
+		log.Printf("interrupted: %d trials unfinished; re-run with the same -cache-dir to resume", o.Canceled)
+		os.Exit(130)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

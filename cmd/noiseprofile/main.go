@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -119,9 +121,17 @@ func runCDF(cfg core.Figure4Config, points, iterations, workers int, cacheDir st
 	if iterations < 1 {
 		iterations = 1
 	}
-	o, err := sweep.Run(campaigns.Figure4(cfg, iterations, cfg.Seed), sweep.Options{
+	// First SIGINT/SIGTERM cancels the campaign (finished trials are already
+	// journaled, so a re-run resumes); a second force-exits.
+	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
+	o, err := sweep.RunContext(ctx, campaigns.Figure4(cfg, iterations, cfg.Seed), sweep.Options{
 		Workers: workers, CacheDir: cacheDir, Progress: os.Stderr,
 	})
+	stopSignals()
+	if errors.Is(err, sweep.ErrInterrupted) {
+		log.Printf("interrupted: %d trials unfinished; re-run with the same -cache-dir to resume", o.Canceled)
+		os.Exit(130)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -51,14 +53,23 @@ func main() {
 	}
 	start := time.Now()
 
+	// First SIGINT/SIGTERM cancels the in-flight stage (its finished trials
+	// are already journaled, so a re-run resumes); a second force-exits.
+	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
+	defer stopSignals()
+
 	// runCampaign shards one stage's trials over the worker pool and folds
 	// the merged telemetry into the process-wide sink, so the -metrics and
 	// -trace artifacts see every stage exactly as the serial path did.
 	runCampaign := func(c *sweep.Campaign) *sweep.Outcome {
-		o, err := sweep.Run(c, sweep.Options{
+		o, err := sweep.RunContext(ctx, c, sweep.Options{
 			Workers: *workers, CacheDir: *cacheDir,
 			Trace: *tracePath != "", Progress: os.Stderr,
 		})
+		if errors.Is(err, sweep.ErrInterrupted) {
+			log.Printf("interrupted during campaign %s: %d trials unfinished; re-run with the same -cache-dir to resume", o.Name, o.Canceled)
+			os.Exit(130)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

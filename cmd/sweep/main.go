@@ -16,12 +16,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mkos/internal/sweep"
 	"mkos/internal/sweep/campaigns"
@@ -36,6 +39,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "on-disk result cache; re-runs execute only changed trials")
 	outdir := flag.String("outdir", "sweep-out", "directory for results.json, metrics.txt and ops.txt")
 	trace := flag.Bool("trace", false, "also write trace.json (merged per-trial sim-time trace)")
+	trialTimeout := flag.Duration("trial-timeout", 0, "fail any single trial exceeding this wall time (0 = no limit)")
+	retryFailed := flag.Bool("retry-failed", false, "re-run trials the campaign journal recorded as failed")
 	flag.Parse()
 	if *specPath == "" {
 		log.Fatal("provide -spec FILE (see specs/ci-sweep.json)")
@@ -49,22 +54,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	o, err := sweep.Run(c, sweep.Options{
+	// First SIGINT/SIGTERM cancels the campaign and flushes partial
+	// artifacts; a second force-exits.
+	ctx, stop := sweep.SignalContext(context.Background(), os.Stderr)
+	o, err := sweep.RunContext(ctx, c, sweep.Options{
 		Workers: *workers, CacheDir: *cacheDir,
 		Trace: *trace, Progress: os.Stderr,
+		TrialTimeout: *trialTimeout, RetryFailed: *retryFailed,
 	})
-	if err != nil {
+	stop()
+	interrupted := errors.Is(err, sweep.ErrInterrupted)
+	if err != nil && !interrupted {
 		log.Fatal(err)
 	}
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	blob, err := json.MarshalIndent(o.Results, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	writeArtifact(*outdir, "results.json", append(blob, '\n'))
+	writeArtifact(*outdir, "results.json", resultsJSON(o))
 	writeArtifact(*outdir, "metrics.txt", dumpRegistry(o.Registry))
 	writeArtifact(*outdir, "ops.txt", dumpRegistry(o.Ops))
 	if o.Recorder != nil {
@@ -79,11 +86,38 @@ func main() {
 	// re-run executed zero trials.
 	fmt.Printf("campaign %s: %d trials: %d executed, %d cached, %d failed\n",
 		o.Name, len(o.Results), o.Executed, o.Cached, o.Failed)
-	fmt.Fprintf(os.Stderr, "sweep: artifacts in %s (elapsed %v)\n", *outdir, o.Elapsed.Round(o.Elapsed/100+1))
+	fmt.Fprintf(os.Stderr, "sweep: artifacts in %s (elapsed %v)\n", *outdir, o.Elapsed.Round(o.Elapsed/100+time.Nanosecond))
+	if interrupted {
+		log.Printf("interrupted: %d trials unfinished; re-run with the same -cache-dir to resume", o.Canceled)
+		os.Exit(130)
+	}
 	if err := o.FirstErr(); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
+}
+
+// resultsJSON renders the deterministic results artifact. A complete run
+// keeps the plain top-level array (the historic format, preserved so
+// byte-identity checks against older artifacts keep working); an interrupted
+// run wraps the partial array in an envelope whose "partial": true marker is
+// impossible to mistake for a finished campaign.
+func resultsJSON(o *sweep.Outcome) []byte {
+	var blob []byte
+	var err error
+	if o.Partial {
+		blob, err = json.MarshalIndent(struct {
+			Partial    bool                `json:"partial"`
+			Unfinished int                 `json:"unfinished"`
+			Results    []sweep.TrialResult `json:"results"`
+		}{true, o.Canceled, o.Results}, "", "  ")
+	} else {
+		blob, err = json.MarshalIndent(o.Results, "", "  ")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return append(blob, '\n')
 }
 
 func dumpRegistry(r *telemetry.Registry) []byte {

@@ -198,8 +198,13 @@ func (rs *ResilientScheduler) Submit(w bsp.Workload, g bsp.Geometry, nodes int, 
 	rs.Engine.Schedule(0, fmt.Sprintf("job%d-start", job.ID), func(*sim.Engine) {
 		rs.runAttempt(job, os, seed, 0, 0)
 	})
-	rs.Engine.Run()
+	runErr := rs.Engine.Run()
 	rs.Report.Makespan = rs.Engine.Now().Duration()
+	if runErr != nil {
+		// Interrupted (cancel hook or event budget) with events still
+		// queued: the job's outcome is undecided, surface the interrupt.
+		return job, runErr
+	}
 	if job.State == JobFailed {
 		return job, job.Err
 	}

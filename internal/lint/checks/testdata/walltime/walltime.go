@@ -26,3 +26,26 @@ func allowedProfiling() time.Duration {
 func good(d time.Duration) time.Duration {
 	return d + tick
 }
+
+// engineWallDeadline mirrors the engine's last-resort runaway guard: a cancel
+// hook that compares the host clock against a wall deadline. Both reads are
+// host-side ops protection — the comparison aborts the run, its value never
+// enters simulation state — so each carries a reasoned suppression.
+func engineWallDeadline(d time.Duration, install func(func() bool)) {
+	//simlint:allow walltime — host-side runaway guard: the deadline bounds the run, it never enters simulation state
+	deadline := time.Now().Add(d)
+	install(func() bool {
+		//simlint:allow walltime — host-side runaway guard comparison; the result aborts the run, it never enters simulation state
+		return time.Now().After(deadline)
+	})
+}
+
+// badCancelHook is the same shape WITHOUT the suppressions: a cancel hook is
+// still deterministic-package code, and an unjustified host-clock read inside
+// one must be flagged like any other.
+func badCancelHook(install func(func() bool)) {
+	deadline := time.Now().Add(tick) // want "wall-clock time\\.Now in deterministic package"
+	install(func() bool {
+		return time.Now().After(deadline) // want "wall-clock time\\.Now in deterministic package"
+	})
+}

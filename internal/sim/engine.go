@@ -79,6 +79,11 @@ func (h *eventHeap) Pop() any {
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; model-level parallelism is expressed as interleaved events,
 // not goroutines, so results stay deterministic.
+//
+// The one sanctioned cross-goroutine touch point is the cancel hook (see
+// SetCancelHook): the hook itself may read state written by another
+// goroutine, but the engine only ever calls it from the running goroutine,
+// at deterministic points in the event stream.
 type Engine struct {
 	now      Time
 	queue    eventHeap
@@ -87,6 +92,10 @@ type Engine struct {
 	fired    uint64
 	maxQueue int
 	observer Observer
+
+	budgetLimit uint64 // absolute fired-count ceiling; 0 = unlimited
+	cancelHook  func() bool
+	cancelEvery uint64
 }
 
 // NewEngine returns an engine with its clock at zero.
@@ -115,6 +124,92 @@ func (e *Engine) SetObserver(o Observer) { e.observer = o }
 // ErrPastEvent is returned by ScheduleAt when the requested instant precedes
 // the current clock.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// ErrEventBudget is returned (wrapped) by Run/RunUntil/RunFor when the
+// engine's event budget is exhausted: the fail-safe against a livelocked
+// model that keeps rescheduling itself forever.
+var ErrEventBudget = errors.New("sim: event budget exhausted")
+
+// ErrCanceled is returned (wrapped) by Run/RunUntil/RunFor when the cancel
+// hook reports cancellation: an external abort (trial timeout, SIGINT)
+// stopped the run.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// defaultCancelPoll is how many fired events pass between cancel-hook polls
+// when the caller does not choose a cadence.
+const defaultCancelPoll = 1024
+
+// SetEventBudget arms (or, with n == 0, disarms) the runaway guard: after n
+// more events fire, Run/RunUntil/RunFor stop before dispatching the next
+// event and return ErrEventBudget. The budget is counted in events, not wall
+// time, so for a given model and seed an exhausted run always stops at the
+// same event and the same simulated instant.
+func (e *Engine) SetEventBudget(n uint64) {
+	if n == 0 {
+		e.budgetLimit = 0
+		return
+	}
+	e.budgetLimit = e.fired + n
+}
+
+// EventBudgetRemaining returns how many events may still fire before the
+// budget trips; it returns ^uint64(0) when no budget is armed.
+func (e *Engine) EventBudgetRemaining() uint64 {
+	if e.budgetLimit == 0 {
+		return ^uint64(0)
+	}
+	if e.fired >= e.budgetLimit {
+		return 0
+	}
+	return e.budgetLimit - e.fired
+}
+
+// SetCancelHook installs (or clears, with a nil fn) the external cancel
+// hook. The run loops poll fn every pollEvery fired events (<= 0 selects a
+// default cadence) and return ErrCanceled once it reports true. The hook is
+// the cooperative path by which another goroutine — a trial-timeout watchdog,
+// a SIGINT handler — stops a simulation at a well-defined sim-time: the
+// engine never advances past the event at which the hook fired, and the
+// pending queue is left intact for inspection.
+//
+// The hook must be cheap and must not touch engine state; typically it reads
+// an atomic flag or compares against a host deadline.
+func (e *Engine) SetCancelHook(fn func() bool, pollEvery int) {
+	e.cancelHook = fn
+	if pollEvery <= 0 {
+		e.cancelEvery = defaultCancelPoll
+	} else {
+		e.cancelEvery = uint64(pollEvery)
+	}
+}
+
+// SetWallDeadline arms a last-resort runaway guard against the host clock:
+// once d of wall time elapses, the next cancel-hook poll stops the run with
+// ErrCanceled. Unlike the event budget this is inherently non-deterministic
+// (the same simulation stops at different events on different machines), so
+// it is only for ops-side protection — sweep trial timeouts, CI hang guards —
+// never for model logic. It replaces any previously installed cancel hook.
+func (e *Engine) SetWallDeadline(d time.Duration, pollEvery int) {
+	//simlint:allow walltime — host-side runaway guard: the deadline bounds the run, it never enters simulation state
+	deadline := time.Now().Add(d)
+	e.SetCancelHook(func() bool {
+		//simlint:allow walltime — host-side runaway guard comparison; the result aborts the run, it never enters simulation state
+		return time.Now().After(deadline)
+	}, pollEvery)
+}
+
+// interrupted reports why the run loop must stop before dispatching the next
+// event: an exhausted event budget or a cancel hook that fired. Both errors
+// wrap their typed sentinel and carry the stop instant.
+func (e *Engine) interrupted() error {
+	if e.budgetLimit != 0 && e.fired >= e.budgetLimit {
+		return fmt.Errorf("%w: %d events fired, stopped at %v", ErrEventBudget, e.fired, e.now)
+	}
+	if e.cancelHook != nil && e.fired%e.cancelEvery == 0 && e.cancelHook() {
+		return fmt.Errorf("%w: %d events fired, stopped at %v", ErrCanceled, e.fired, e.now)
+	}
+	return nil
+}
 
 // ScheduleAt enqueues fn to run at instant at. It panics if at precedes the
 // current clock, because silently reordering the past would corrupt a model.
@@ -204,31 +299,51 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or Stop is called.
-func (e *Engine) Run() {
-	e.stopped = false
-	for !e.stopped && e.Step() {
-	}
-}
-
-// RunUntil executes events with At <= deadline and then sets the clock to the
-// deadline. Events scheduled beyond the deadline remain queued.
-func (e *Engine) RunUntil(deadline Time) {
+// Run executes events until the queue drains or Stop is called. It returns
+// nil on a clean drain or Stop, ErrEventBudget when the event budget ran out,
+// and ErrCanceled when the cancel hook fired; on error the clock holds at the
+// last dispatched event and undispatched events remain queued.
+func (e *Engine) Run() error {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].At > deadline {
+		if len(e.queue) == 0 {
 			break
+		}
+		if err := e.interrupted(); err != nil {
+			return err
 		}
 		e.Step()
 	}
-	if e.now < deadline {
-		e.now = deadline
-	}
+	return nil
 }
 
-// RunFor advances the simulation by d from the current instant.
-func (e *Engine) RunFor(d Duration) {
-	e.RunUntil(e.now.Add(d))
+// RunUntil executes events with At <= deadline and then sets the clock to the
+// deadline. Events scheduled beyond the deadline remain queued. When the run
+// halts early — Stop from a handler, budget exhaustion, cancellation — the
+// clock is NOT advanced to the deadline: it holds at the last dispatched
+// event, so callers can see exactly how far the simulation got.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].At > deadline {
+			if e.now < deadline {
+				e.now = deadline
+			}
+			return nil
+		}
+		if err := e.interrupted(); err != nil {
+			return err
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d from the current instant. Early halts
+// follow RunUntil's contract: the clock is only advanced to the target
+// instant when the run completed.
+func (e *Engine) RunFor(d Duration) error {
+	return e.RunUntil(e.now.Add(d))
 }
 
 // Stop makes the innermost Run/RunUntil return after the current event.

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -193,6 +195,136 @@ func TestEngineNestedScheduling(t *testing.T) {
 	}
 	if e.Now() != Time(49) {
 		t.Fatalf("clock = %v, want 49ns", e.Now())
+	}
+}
+
+// TestEngineRunUntilStoppedHoldsClock is the regression test for the early-
+// halt contract: Stop() from a handler must leave the clock at the stopping
+// event, not teleport it to the deadline.
+func TestEngineRunUntilStoppedHoldsClock(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(Time(5), "stop", func(en *Engine) { en.Stop() })
+	e.ScheduleAt(Time(8), "later", func(*Engine) {})
+	if err := e.RunUntil(Time(100)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != Time(5) {
+		t.Fatalf("clock after Stop = %v, want 5 (must not advance to the deadline)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// Resuming finishes the window and only then lands on the deadline.
+	if err := e.RunUntil(Time(100)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != Time(100) {
+		t.Fatalf("clock after resume = %v, want 100", e.Now())
+	}
+}
+
+// TestEngineEventBudget: a self-rescheduling (livelocked) model stops with
+// ErrEventBudget after exactly the budgeted number of events, at the sim-time
+// of the last dispatched event, with the next event still queued.
+func TestEngineEventBudget(t *testing.T) {
+	e := NewEngine()
+	var spin func(*Engine)
+	spin = func(en *Engine) { en.Schedule(Nanosecond, "spin", spin) }
+	e.Schedule(0, "spin", spin)
+	e.SetEventBudget(100)
+	err := e.Run()
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("Run = %v, want ErrEventBudget", err)
+	}
+	if e.Fired() != 100 {
+		t.Fatalf("fired %d events, want exactly 100", e.Fired())
+	}
+	if e.Now() != Time(99) {
+		t.Fatalf("clock = %v, want 99ns (last dispatched event)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want the next spin event still queued", e.Pending())
+	}
+	if e.EventBudgetRemaining() != 0 {
+		t.Fatalf("remaining budget = %d, want 0", e.EventBudgetRemaining())
+	}
+	// Raising the budget resumes the run from where it stopped.
+	e.SetEventBudget(50)
+	if err := e.Run(); !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("resumed Run = %v, want ErrEventBudget", err)
+	}
+	if e.Fired() != 150 {
+		t.Fatalf("fired %d events after resume, want 150", e.Fired())
+	}
+	// Disarming the guard is possible too — give the model a real stop.
+	e.SetEventBudget(0)
+	e.Schedule(0, "halt", func(en *Engine) { en.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("unbudgeted Run = %v", err)
+	}
+}
+
+// TestEngineBudgetRunUntil: an exhausted budget inside RunUntil does not
+// advance the clock to the deadline.
+func TestEngineBudgetRunUntil(t *testing.T) {
+	e := NewEngine()
+	var spin func(*Engine)
+	spin = func(en *Engine) { en.Schedule(Nanosecond, "spin", spin) }
+	e.Schedule(0, "spin", spin)
+	e.SetEventBudget(10)
+	if err := e.RunUntil(Time(Second)); !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("RunUntil = %v, want ErrEventBudget", err)
+	}
+	if e.Now() != Time(9) {
+		t.Fatalf("clock = %v, want 9ns", e.Now())
+	}
+}
+
+// TestEngineCancelHook: an externally set flag stops the run with ErrCanceled
+// at a poll boundary, leaving the queue intact for a later resume.
+func TestEngineCancelHook(t *testing.T) {
+	e := NewEngine()
+	var flag atomic.Bool
+	var fired int
+	var spin func(*Engine)
+	spin = func(en *Engine) {
+		fired++
+		if fired == 7 {
+			flag.Store(true)
+		}
+		en.Schedule(Nanosecond, "spin", spin)
+	}
+	e.Schedule(0, "spin", spin)
+	e.SetCancelHook(flag.Load, 4) // poll every 4 events
+	err := e.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run = %v, want ErrCanceled", err)
+	}
+	// The flag went up inside event 7; the next poll boundary is 8 fired
+	// events, so exactly 8 events dispatched.
+	if e.Fired() != 8 {
+		t.Fatalf("fired %d events, want 8 (next poll boundary)", e.Fired())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// Clearing the hook lets the run resume; give it a stop condition.
+	e.SetCancelHook(nil, 0)
+	e.Schedule(0, "halt", func(en *Engine) { en.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run after clearing hook = %v", err)
+	}
+}
+
+// TestEngineWallDeadline: the host-clock guard cancels a runaway run.
+func TestEngineWallDeadline(t *testing.T) {
+	e := NewEngine()
+	var spin func(*Engine)
+	spin = func(en *Engine) { en.Schedule(Nanosecond, "spin", spin) }
+	e.Schedule(0, "spin", spin)
+	e.SetWallDeadline(10*time.Millisecond, 64)
+	if err := e.Run(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run = %v, want ErrCanceled from the wall deadline", err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sync/atomic"
 )
 
 // cacheSchema versions the on-disk format itself; bumping it orphans every
@@ -46,9 +47,18 @@ func CodeVersion() string {
 // so a killed campaign never leaves a truncated entry behind, and every load
 // is validated against the trial key so a hash collision or a foreign file
 // degrades to a cache miss, never a wrong result.
+//
+// A corrupt entry — unparseable JSON or a key mismatch — is quarantined:
+// renamed to <hash>.json.corrupt and counted in quarantined. Without the
+// rename a damaged file would silently re-miss on every run forever (the
+// re-executed result is stored under the same name only on success), which
+// hides the corruption from the operator; the .corrupt file both frees the
+// slot and preserves the evidence.
 type diskCache struct {
 	dir     string
 	version string
+
+	quarantined atomic.Int64
 }
 
 func openCache(dir, version string) (*diskCache, error) {
@@ -82,23 +92,41 @@ func (c *diskCache) path(hash string) string {
 }
 
 // load returns the cached result for the trial, reporting whether the lookup
-// hit. Any problem — missing entry, unreadable file, spec mismatch — is a
-// miss; the trial simply runs again.
+// hit. A missing entry is a plain miss; a corrupt or mismatched entry is
+// quarantined and then misses. Either way the trial simply runs again.
 func (c *diskCache) load(t Trial, seed int64) (TrialResult, bool) {
 	hash, err := c.entryHash(t, seed)
 	if err != nil {
 		return TrialResult{}, false
 	}
-	blob, err := os.ReadFile(c.path(hash))
+	path := c.path(hash)
+	blob, err := os.ReadFile(path)
 	if err != nil {
+		if !os.IsNotExist(err) {
+			c.quarantine(path)
+		}
 		return TrialResult{}, false
 	}
 	var r TrialResult
-	if err := json.Unmarshal(blob, &r); err != nil || r.Key != t.Key || r.Err != "" {
+	if err := json.Unmarshal(blob, &r); err != nil || r.Key != t.Key {
+		c.quarantine(path)
+		return TrialResult{}, false
+	}
+	if r.Err != "" {
+		// Well-formed but failed: failures are never cached, so this is a
+		// foreign or legacy entry. Treat as a miss without quarantining.
 		return TrialResult{}, false
 	}
 	r.Cached = true
 	return r, true
+}
+
+// quarantine renames a corrupt entry out of the lookup namespace, preserving
+// it for inspection, and counts it for the run's ops registry.
+func (c *diskCache) quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err == nil {
+		c.quarantined.Add(1)
+	}
 }
 
 // store persists a successful trial result; failures are never cached so they

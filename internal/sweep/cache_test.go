@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mkos/internal/sweep"
@@ -104,7 +105,10 @@ func TestCacheInvalidation(t *testing.T) {
 	}
 }
 
-func TestCacheSkipsFailedTrials(t *testing.T) {
+// TestJournalRestoresFailedTrials pins the resume semantics for failures: a
+// deterministic failure is journaled and restored on re-invocation (zero
+// re-execution), and RetryFailed re-runs exactly the failed set.
+func TestJournalRestoresFailedTrials(t *testing.T) {
 	dir := t.TempDir()
 	execs := make([]int, 2)
 	broken := countingCampaign("fail", 2, execs)
@@ -114,22 +118,59 @@ func TestCacheSkipsFailedTrials(t *testing.T) {
 		return nil, fmt.Errorf("transient failure %d", failures)
 	}
 	opts := sweep.Options{Workers: 1, CacheDir: dir, Version: "test-v1"}
-	if _, err := sweep.Run(broken, opts); err != nil {
+	first, err := sweep.Run(broken, opts)
+	if err != nil {
 		t.Fatal(err)
 	}
-	// Heal the trial: it must re-run (failures are never cached) while the
-	// healthy trial hits the cache.
+	if first.Failed != 1 || first.Executed != 1 {
+		t.Fatalf("first run failed=%d executed=%d, want 1/1", first.Failed, first.Executed)
+	}
+
+	// Re-invoked unchanged: the journal restores the failure, nothing
+	// re-executes, and the failure is still visible with its original error.
+	again, err := sweep.Run(countingCampaign("fail", 2, execs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Executed != 0 || again.Failed != 1 || again.Cached != 1 {
+		t.Fatalf("journal run executed=%d failed=%d cached=%d, want 0/1/1", again.Executed, again.Failed, again.Cached)
+	}
+	if r, ok := again.Result("count/n000"); !ok || !strings.Contains(r.Err, "transient failure 1") {
+		t.Fatalf("restored failure = %+v", r)
+	}
+	if execs[0] != 0 {
+		t.Fatalf("failed trial re-executed %d times without RetryFailed", execs[0])
+	}
+
+	// RetryFailed after healing: exactly the failed trial re-runs and the
+	// journal is updated with its success.
 	healed := countingCampaign("fail", 2, execs)
-	o, err := sweep.Run(healed, opts)
+	retry := opts
+	retry.RetryFailed = true
+	o, err := sweep.Run(healed, retry)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.Executed != 1 || o.Cached != 1 || o.Failed != 0 {
-		t.Fatalf("healed run executed=%d cached=%d failed=%d, want 1/1/0", o.Executed, o.Cached, o.Failed)
+		t.Fatalf("retry run executed=%d cached=%d failed=%d, want 1/1/0", o.Executed, o.Cached, o.Failed)
+	}
+	if execs[0] != 1 || execs[1] != 1 {
+		t.Fatalf("execution counts %v, want [1 1]", execs)
+	}
+	final, err := sweep.Run(countingCampaign("fail", 2, execs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Executed != 0 || final.Failed != 0 {
+		t.Fatalf("post-heal run executed=%d failed=%d, want 0/0", final.Executed, final.Failed)
 	}
 }
 
-func TestCacheIgnoresCorruptEntries(t *testing.T) {
+// TestCacheQuarantinesCorruptEntries: a damaged cache entry is renamed to
+// *.corrupt (preserving the evidence, freeing the slot) and counted in the
+// ops registry; the trial itself is satisfied from the journal when one
+// exists, or re-executed when it does not.
+func TestCacheQuarantinesCorruptEntries(t *testing.T) {
 	dir := t.TempDir()
 	execs := make([]int, 1)
 	opts := sweep.Options{Workers: 1, CacheDir: dir, Version: "test-v1"}
@@ -143,11 +184,47 @@ func TestCacheIgnoresCorruptEntries(t *testing.T) {
 	if err := os.WriteFile(entries[0], []byte("{truncated"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+
+	// With the journal intact the trial is restored, but the corrupt cache
+	// entry must still be quarantined, not silently re-missed.
 	o, err := sweep.Run(countingCampaign("corrupt", 1, execs), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if o.Executed != 0 || o.Cached != 1 {
+		t.Fatalf("journal did not cover the corrupt entry: executed=%d cached=%d", o.Executed, o.Cached)
+	}
+	if got := o.Ops.CounterValue("sweep.cache.quarantined"); got != 1 {
+		t.Fatalf("sweep.cache.quarantined = %d, want 1", got)
+	}
+	quarantined, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("want one quarantined entry, got %v (%v)", quarantined, err)
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(left) != 0 {
+		t.Fatalf("corrupt entry still occupies the cache slot: %v", left)
+	}
+
+	// Corrupt again with no journal: the trial re-executes and the fresh
+	// result repopulates the cache.
+	if err := os.WriteFile(entries[0], []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	journals, err := filepath.Glob(filepath.Join(dir, "*.journal"))
+	if err != nil || len(journals) != 1 {
+		t.Fatalf("want one campaign journal, got %v (%v)", journals, err)
+	}
+	if err := os.Remove(journals[0]); err != nil {
+		t.Fatal(err)
+	}
+	o, err = sweep.Run(countingCampaign("corrupt", 1, execs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.Executed != 1 || o.Failed != 0 {
-		t.Fatalf("corrupt entry not treated as a miss: executed=%d failed=%d", o.Executed, o.Failed)
+		t.Fatalf("corrupt entry without journal: executed=%d failed=%d, want 1/0", o.Executed, o.Failed)
+	}
+	if execs[0] != 2 {
+		t.Fatalf("trial ran %d times total, want 2", execs[0])
 	}
 }

@@ -13,6 +13,7 @@
 package campaigns
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"mkos/internal/core"
 	"mkos/internal/fault"
 	"mkos/internal/noise"
+	"mkos/internal/sim"
 	"mkos/internal/sweep"
 )
 
@@ -223,15 +225,15 @@ func FaultSweep(name string, specs []FaultPointSpec, campaignSeed int64) *sweep.
 		c.Trials = append(c.Trials, sweep.Trial{
 			Key:  FaultKey(s),
 			Spec: s,
-			Run: func(*sweep.T) (any, error) {
-				return runFaultPoint(s)
+			Run: func(t *sweep.T) (any, error) {
+				return runFaultPoint(t, s)
 			},
 		})
 	}
 	return c
 }
 
-func runFaultPoint(s FaultPointSpec) (FaultPointResult, error) {
+func runFaultPoint(t *sweep.T, s FaultPointSpec) (FaultPointResult, error) {
 	var p *cluster.Platform
 	switch s.Platform {
 	case "fugaku":
@@ -258,10 +260,20 @@ func runFaultPoint(s FaultPointSpec) (FaultPointResult, error) {
 		Steps: 50, StepCompute: 5 * time.Millisecond,
 		WorkingSetPerRank: 64 << 20, MemAccessPeriod: 100 * time.Nanosecond,
 	}
+	// The recovery engine can simulate arbitrarily long retry/backoff chains;
+	// hook it up to the trial's cancel flag so a campaign shutdown or trial
+	// deadline stops it at a deterministic event boundary mid-job.
+	t.AttachEngine(rs.Engine)
 	for j := 0; j < s.Jobs; j++ {
+		if t.Canceled() {
+			return FaultPointResult{}, sweep.ErrTrialCanceled
+		}
 		// Per-job seeds derive from the point seed; terminal failures are
-		// part of the measurement, not an error of the trial.
-		_, _ = rs.Submit(w, g, s.Nodes, os, s.Seed*1000+int64(j))
+		// part of the measurement, not an error of the trial. An engine
+		// interrupt, by contrast, means the trial itself was canceled.
+		if _, err := rs.Submit(w, g, s.Nodes, os, s.Seed*1000+int64(j)); errors.Is(err, sim.ErrCanceled) {
+			return FaultPointResult{}, sweep.ErrTrialCanceled
+		}
 	}
 	return FaultPointResult{Report: *rs.Report, Text: rs.Report.String()}, nil
 }

@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// journal is the crash-safe campaign log: one JSON line per finished trial,
+// appended as each trial completes, so a killed or interrupted campaign
+// re-invoked with the same spec resumes exactly where it stopped.
+//
+// It complements the content-addressed result cache in two ways. First, it
+// remembers *failed* trials (the cache deliberately never stores failures),
+// so a resume does not burn time re-running deterministic failures — unless
+// the caller opts in with Options.RetryFailed. Second, it is scoped to one
+// campaign identity (name, seed, code version), which makes "this campaign
+// already ran trial X" a precise statement rather than an inference from
+// shared cache contents.
+//
+// Crash safety is append-only discipline: every entry is a single
+// one-line write to an O_APPEND file followed by a sync, so a kill can at
+// worst truncate the final line, and the loader skips any line that does not
+// parse. Entries are validated against the trial's content hash (spec, seed,
+// code version), so a stale journal from an edited campaign degrades to a
+// no-op, never a wrong result. Trials that were canceled, timed out or
+// abandoned are never journaled: they re-execute on resume.
+type journal struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]TrialResult // entry hash -> finished result
+}
+
+// journalEntry is the on-disk line format.
+type journalEntry struct {
+	Hash   string      `json:"hash"`
+	Result TrialResult `json:"result"`
+}
+
+// campaignID derives the journal's identity token from everything that makes
+// a campaign "the same campaign": the schema, the code version, the campaign
+// name and seed. Trial-level identity lives in each entry's hash.
+func campaignID(version, name string, seed int64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d", cacheSchema, version, name, seed)
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// openJournal loads (or creates) the campaign's journal under dir and opens
+// it for appending. Unparseable lines — a truncated tail from a kill — are
+// skipped; later entries for the same hash win.
+func openJournal(dir, version, name string, seed int64) (*journal, error) {
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s.journal", slugName(name), campaignID(version, name, seed)))
+	j := &journal{path: path, entries: make(map[string]TrialResult)}
+	if blob, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(blob)
+		sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+		for sc.Scan() {
+			var e journalEntry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Hash == "" {
+				continue // torn or foreign line: ignore, the trial just re-runs
+			}
+			j.entries[e.Hash] = e.Result
+		}
+		blob.Close()
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening campaign journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// lookup returns the journaled result for an entry hash.
+func (j *journal) lookup(hash string) (TrialResult, bool) {
+	r, ok := j.entries[hash]
+	return r, ok
+}
+
+// append records one finished trial. The whole entry is written with a
+// single Write to the O_APPEND descriptor and synced, so concurrent workers
+// interleave whole lines and a crash can only lose the entry being written.
+// Errors are swallowed like cache-store errors: the journal accelerates
+// resume, it must never fail a campaign.
+func (j *journal) append(hash string, r TrialResult) {
+	blob, err := json.Marshal(journalEntry{Hash: hash, Result: r})
+	if err != nil {
+		return
+	}
+	blob = append(blob, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(blob); err != nil {
+		return
+	}
+	j.f.Sync()
+	j.entries[hash] = r
+}
+
+// close releases the append descriptor.
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.Close()
+}
+
+// slugName makes a campaign name filename-safe.
+func slugName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '-')
+		}
+	}
+	if len(out) == 0 {
+		return "campaign"
+	}
+	return string(out)
+}

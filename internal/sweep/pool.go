@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,7 +12,14 @@ import (
 // worker goroutines. Indices are handed out through a channel, so completion
 // order is whatever the scheduler produces — nothing downstream may depend on
 // it (the collector re-sorts by trial key).
-func runPool(workers int, pending []int, fn func(i int)) {
+//
+// Cancellation is two-stage: once ctx is done, no further indices are
+// dispatched, and each in-flight fn observes the same ctx (runTrial uses it
+// to cancel its trial cooperatively). runPool always waits for the workers
+// to drain, so by the time it returns no worker goroutine is still touching
+// shared state — abandoned *trial* goroutines (leaked on a hung trial) run
+// on their own isolated sinks and are the one sanctioned exception.
+func runPool(ctx context.Context, workers int, pending []int, fn func(i int)) {
 	if len(pending) == 0 {
 		return
 	}
@@ -29,8 +37,14 @@ func runPool(workers int, pending []int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for _, i := range pending {
-		ch <- i
+		select {
+		case ch <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()

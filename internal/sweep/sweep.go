@@ -29,13 +29,19 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strconv"
+	"sync/atomic"
 	"time"
 
+	"mkos/internal/sim"
 	"mkos/internal/telemetry"
 )
 
@@ -67,7 +73,43 @@ type T struct {
 	// as the goroutine-local default, so instrumented subsystems need no
 	// plumbing; it is exposed for trials that want direct access.
 	Sink *telemetry.Sink
+
+	// canceled is raised by the orchestrator when the trial must stop: its
+	// wall-time budget expired or the whole campaign is shutting down.
+	canceled *atomic.Bool
 }
+
+// Canceled reports whether the orchestrator has asked this trial to stop.
+// Long-running trial units should poll it between natural units of work
+// (jobs, iterations) and return ErrTrialCanceled promptly; a trial that
+// never checks is eventually abandoned by its worker and leaks.
+func (t *T) Canceled() bool { return t.canceled != nil && t.canceled.Load() }
+
+// AttachEngine wires the trial's cancellation into a simulation engine: the
+// engine polls the trial's cancel flag between events and stops its run
+// loops with sim.ErrCanceled once the orchestrator raises it. Trial units
+// that drive a discrete-event simulation should attach every engine they
+// create, so a trial timeout or a campaign SIGINT stops the simulation at a
+// well-defined sim-time instead of waiting for the run to drain.
+func (t *T) AttachEngine(e *sim.Engine) {
+	if t.canceled == nil {
+		return
+	}
+	e.SetCancelHook(t.canceled.Load, trialCancelPoll)
+}
+
+// trialCancelPoll is the engine cancel-hook cadence for attached trials:
+// small enough that a canceled simulation stops within microseconds of model
+// work, large enough that the atomic read never shows up in a profile.
+const trialCancelPoll = 256
+
+// ErrTrialCanceled is what cooperative trial units return when they observe
+// Canceled(); the orchestrator also matches sim.ErrCanceled from attached
+// engines. Either way the trial's outcome is decided by *why* it was
+// canceled: a timed-out trial is recorded as failed, a trial canceled by
+// campaign shutdown is excluded from the partial outcome and re-runs on
+// resume.
+var ErrTrialCanceled = errors.New("sweep: trial canceled")
 
 // Campaign is an enumerated set of trials plus the seed they derive from.
 type Campaign struct {
@@ -93,6 +135,22 @@ type Options struct {
 	Progress io.Writer
 	// ProgressEvery throttles progress lines; <= 0 means every 2 seconds.
 	ProgressEvery time.Duration
+
+	// TrialTimeout bounds one trial's wall time; 0 disables the deadline.
+	// An expired trial is first canceled cooperatively (its cancel flag and
+	// any attached engines), then — if it still does not return within
+	// CancelGrace — its goroutine is abandoned so the worker can move on.
+	// Timed-out trials are recorded as failed but never cached or
+	// journaled: a resume re-executes them.
+	TrialTimeout time.Duration
+	// CancelGrace is how long a canceled or timed-out trial gets to unwind
+	// cooperatively before its goroutine is abandoned; <= 0 means 1 second.
+	CancelGrace time.Duration
+	// RetryFailed re-executes trials whose journaled outcome was a failure.
+	// By default a resumed campaign restores failures from the journal
+	// (deterministic trials fail deterministically); pass true after fixing
+	// the cause to re-run exactly the failed set.
+	RetryFailed bool
 }
 
 // TrialResult is one trial's outcome. The JSON form is what the cache stores
@@ -127,10 +185,24 @@ type Outcome struct {
 	// itself: pool size and utilization, per-trial wall-time histogram,
 	// executed/cached/failed counters. Never merge it into Registry.
 	Ops *telemetry.Registry
-	// Executed, Cached and Failed partition the trials. Elapsed is the
-	// campaign wall time.
+	// Executed, Cached and Failed partition the merged trials (Failed wins
+	// over Cached for journal-restored failures). Elapsed is the campaign
+	// wall time.
 	Executed, Cached, Failed int
 	Elapsed                  time.Duration
+
+	// Partial marks an interrupted campaign: Results holds only the trials
+	// that finished (or were restored) before cancellation, and Canceled
+	// counts the rest — both in-flight trials that were canceled and
+	// pending trials that were never dispatched. A resume with the same
+	// spec and cache dir re-executes exactly the Canceled set.
+	Partial  bool
+	Canceled int
+	// TimedOut counts trials failed by TrialTimeout (a subset of Failed).
+	// Leaked counts trial goroutines that had to be abandoned because they
+	// ignored cooperative cancellation — after a timeout or during campaign
+	// shutdown; they keep running detached on their isolated sinks.
+	TimedOut, Leaked int
 }
 
 // Result returns the trial result for key, if present.
@@ -186,12 +258,43 @@ func (o *Outcome) MergeTelemetry(sink *telemetry.Sink) {
 	}
 }
 
-// Run executes the campaign and merges its results deterministically.
+// ErrInterrupted is returned (wrapped) by RunContext when the context is
+// canceled mid-campaign. The accompanying Outcome is the partial merge of
+// every trial that finished before cancellation; with a cache dir configured,
+// re-invoking the same campaign resumes exactly the unfinished set.
+var ErrInterrupted = errors.New("sweep: campaign interrupted")
+
+// Run executes the campaign and merges its results deterministically. It is
+// RunContext with a background context — for callers with no cancellation
+// story (tests, benchmarks).
+func Run(c *Campaign, opts Options) (*Outcome, error) {
+	return RunContext(context.Background(), c, opts)
+}
+
+// trialStatus classifies how one pending trial's execution ended.
+type trialStatus int
+
+const (
+	statusNotRun         trialStatus = iota // never dispatched, or canceled mid-run
+	statusDone                              // finished (success or its own failure)
+	statusTimedOut                          // failed by TrialTimeout, unwound in grace
+	statusLeaked                            // failed by TrialTimeout, goroutine abandoned
+	statusCanceledLeaked                    // canceled by shutdown AND goroutine abandoned
+)
+
+// RunContext executes the campaign and merges its results deterministically.
 //
 // Only campaign-level problems (duplicate keys, an unusable cache directory)
-// are returned as errors; individual trial failures — including panics — are
-// captured per trial and surface through Outcome.Failed / FirstErr.
-func Run(c *Campaign, opts Options) (*Outcome, error) {
+// are returned as errors; individual trial failures — including panics and
+// trial timeouts — are captured per trial and surface through Outcome.Failed
+// / FirstErr. Cancellation of ctx stops dispatch, cancels in-flight trials
+// cooperatively, and returns the partial outcome with ErrInterrupted.
+//
+// With a cache dir configured, every finished trial is also appended to a
+// crash-safe campaign journal, so an interrupted — or SIGKILLed — campaign
+// re-invoked with the same spec resumes with zero re-executed trials and
+// merges artifacts byte-identical to an uninterrupted run.
+func RunContext(ctx context.Context, c *Campaign, opts Options) (*Outcome, error) {
 	start := time.Now()
 	workers := opts.Workers
 	if workers <= 0 {
@@ -209,11 +312,16 @@ func Run(c *Campaign, opts Options) (*Outcome, error) {
 	}
 
 	var cache *diskCache
+	var jl *journal
 	if opts.CacheDir != "" {
 		var err error
 		if cache, err = openCache(opts.CacheDir, opts.Version); err != nil {
 			return nil, err
 		}
+		if jl, err = openJournal(opts.CacheDir, cache.version, c.Name, c.Seed); err != nil {
+			return nil, err
+		}
+		defer jl.close()
 	}
 
 	out := &Outcome{Name: c.Name, Registry: telemetry.NewRegistry(), Ops: telemetry.NewRegistry()}
@@ -221,15 +329,29 @@ func Run(c *Campaign, opts Options) (*Outcome, error) {
 		out.Recorder = telemetry.NewRecorder(0)
 	}
 
-	// Probe the cache, collecting the trials that still need to run.
+	// Probe the cache and journal, collecting the trials that still need to
+	// run. The cache goes first so a corrupt entry is noticed (and
+	// quarantined) even when the campaign journal can still satisfy the
+	// trial; the journal then adds what the shared cache deliberately lacks
+	// — campaign-scoped memory of failed trials.
 	results := make([]TrialResult, len(trials))
 	recorders := make([]*telemetry.Recorder, len(trials))
+	statuses := make([]trialStatus, len(trials))
+	hashes := make([]string, len(trials))
 	var pending []int
 	for i, t := range trials {
 		seed := DeriveSeed(c.Seed, t.Key)
 		if cache != nil {
+			hashes[i], _ = cache.entryHash(t, seed)
 			if r, ok := cache.load(t, seed); ok {
-				results[i] = r
+				results[i], statuses[i] = r, statusDone
+				continue
+			}
+		}
+		if jl != nil && hashes[i] != "" {
+			if r, ok := jl.lookup(hashes[i]); ok && !(opts.RetryFailed && r.Err != "") {
+				r.Cached = true
+				results[i], statuses[i] = r, statusDone
 				continue
 			}
 		}
@@ -238,87 +360,219 @@ func Run(c *Campaign, opts Options) (*Outcome, error) {
 	}
 
 	prog := newProgress(c.Name, len(trials), len(trials)-len(pending), opts)
-	runPool(workers, pending, func(i int) {
+	runPool(ctx, workers, pending, func(i int) {
 		t := trials[i]
-		res, rec := runTrial(t, results[i].Seed, opts.Trace)
-		results[i] = res
-		recorders[i] = rec
-		if cache != nil && res.Err == "" {
-			cache.store(t, res)
+		res, rec, status := runTrial(ctx, t, results[i].Seed, opts)
+		results[i], recorders[i], statuses[i] = res, rec, status
+		if status == statusNotRun || status == statusCanceledLeaked {
+			return // canceled mid-run: nothing to record, the trial re-runs on resume
+		}
+		// Timed-out and leaked trials are deliberately not persisted: the
+		// timeout is a host-side observation, so a resume re-executes them.
+		if status == statusDone {
+			if cache != nil && res.Err == "" {
+				cache.store(t, res)
+			}
+			if jl != nil && hashes[i] != "" {
+				jl.append(hashes[i], res)
+			}
 		}
 		prog.done(res)
 	})
 	prog.finish()
 
-	// Deterministic merge: everything folds in key order.
+	// Deterministic merge: everything folds in key order. Trials that never
+	// finished (canceled in flight or never dispatched) are excluded — the
+	// partial artifact contains only trustworthy results.
 	for i, r := range results {
+		if statuses[i] == statusNotRun || statuses[i] == statusCanceledLeaked {
+			out.Canceled++
+			if statuses[i] == statusCanceledLeaked {
+				out.Leaked++
+			}
+			continue
+		}
 		out.Results = append(out.Results, r)
 		out.Registry.AddSnapshot(r.Metrics)
 		if out.Recorder != nil && recorders[i] != nil {
 			out.Recorder.MergeFrom(recorders[i])
 		}
 		switch {
-		case r.Cached:
-			out.Cached++
 		case r.Err != "":
 			out.Failed++
+			if statuses[i] == statusTimedOut || statuses[i] == statusLeaked {
+				out.TimedOut++
+				if statuses[i] == statusLeaked {
+					out.Leaked++
+				}
+			}
+		case r.Cached:
+			out.Cached++
 		default:
 			out.Executed++
 		}
 	}
+	// A cancellation that lands after the last trial finished leaves nothing
+	// unfinished: the outcome is complete, not partial.
+	out.Partial = out.Canceled > 0
 	out.Elapsed = time.Since(start)
-	fillOps(out, workers, results)
+	fillOps(out, workers, cache, results)
+	if out.Partial {
+		if out.Recorder != nil {
+			// Mark the shutdown on the merged trace. Only interrupted runs
+			// carry these events, so complete-run byte-identity is untouched.
+			out.Recorder.Enable()
+			out.Recorder.Instant("shutdown", "campaign-interrupted", 0, 0, 0,
+				telemetry.Arg{Key: "canceled", Val: strconv.Itoa(out.Canceled)},
+				telemetry.Arg{Key: "leaked", Val: strconv.Itoa(out.Leaked)})
+			out.Recorder.Disable()
+		}
+		return out, fmt.Errorf("%w: %d of %d trials unfinished (%v)", ErrInterrupted, out.Canceled, len(trials), ctx.Err())
+	}
 	return out, nil
 }
 
-// runTrial executes one trial in an isolated sink, converting a panic into a
-// trial error.
-func runTrial(t Trial, seed int64, trace bool) (TrialResult, *telemetry.Recorder) {
+// maxPanicStack bounds the stack capture embedded in a panicking trial's
+// error: enough frames to find the fault, small enough for results.json.
+const maxPanicStack = 4096
+
+// runTrial executes one trial on its own goroutine with an isolated sink,
+// converting a panic into a trial error (with a truncated stack, so a CI
+// failure is debuggable from results.json alone) and enforcing the trial
+// timeout and campaign cancellation.
+//
+// The worker goroutine never blocks on a hung trial forever: cancellation is
+// raised cooperatively first (the trial's flag, observed by Canceled() and
+// attached engines), and after Options.CancelGrace the trial goroutine is
+// abandoned — it keeps running detached on its isolated sink, the worker
+// records the leak and moves on. That is the last-resort trade the pool
+// makes to keep draining when a trial ignores every cooperative signal.
+func runTrial(ctx context.Context, t Trial, seed int64, opts Options) (TrialResult, *telemetry.Recorder, trialStatus) {
 	sink := telemetry.NewSink()
-	if trace {
+	if opts.Trace {
 		sink.Recorder().Enable()
 	}
+	var canceled atomic.Bool
+	tc := &T{Key: t.Key, Seed: seed, Sink: sink, canceled: &canceled}
 	res := TrialResult{Key: t.Key, Seed: seed}
+
+	type outcome struct {
+		payload any
+		err     error
+	}
+	done := make(chan outcome, 1) // buffered: an abandoned trial must not block on send
 	started := time.Now()
-	var payload any
-	var err error
-	func() {
-		defer func() {
-			if p := recover(); p != nil {
-				err = fmt.Errorf("panic: %v", p)
-			}
+	go func() {
+		var payload any
+		var err error
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					stack := debug.Stack()
+					if len(stack) > maxPanicStack {
+						stack = append(stack[:maxPanicStack], []byte("\n... stack truncated ...")...)
+					}
+					err = fmt.Errorf("panic: %v\n%s", p, stack)
+				}
+			}()
+			telemetry.RunWith(sink, func() {
+				payload, err = t.Run(tc)
+			})
 		}()
-		telemetry.RunWith(sink, func() {
-			payload, err = t.Run(&T{Key: t.Key, Seed: seed, Sink: sink})
-		})
+		done <- outcome{payload, err}
 	}()
-	res.Wall = time.Since(started)
-	res.Metrics = sink.Snapshot()
-	if err != nil {
-		res.Err = err.Error()
-		return res, sink.Recorder()
+
+	var timeoutCh <-chan time.Time
+	if opts.TrialTimeout > 0 {
+		timer := time.NewTimer(opts.TrialTimeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
 	}
-	if payload != nil {
-		blob, merr := json.Marshal(payload)
-		if merr != nil {
-			res.Err = fmt.Sprintf("encoding payload: %v", merr)
-			return res, sink.Recorder()
+
+	finish := func(o outcome) (TrialResult, *telemetry.Recorder, trialStatus) {
+		res.Wall = time.Since(started)
+		res.Metrics = sink.Snapshot()
+		if o.err != nil {
+			res.Err = o.err.Error()
+			return res, sink.Recorder(), statusDone
 		}
-		res.Payload = blob
+		if o.payload != nil {
+			blob, merr := json.Marshal(o.payload)
+			if merr != nil {
+				res.Err = fmt.Sprintf("encoding payload: %v", merr)
+				return res, sink.Recorder(), statusDone
+			}
+			res.Payload = blob
+		}
+		return res, sink.Recorder(), statusDone
 	}
-	return res, sink.Recorder()
+
+	grace := opts.CancelGrace
+	if grace <= 0 {
+		grace = time.Second
+	}
+	awaitGrace := func() (outcome, bool) {
+		canceled.Store(true)
+		gt := time.NewTimer(grace)
+		defer gt.Stop()
+		select {
+		case o := <-done:
+			return o, true
+		case <-gt.C:
+			return outcome{}, false
+		}
+	}
+
+	select {
+	case o := <-done:
+		return finish(o)
+
+	case <-ctx.Done():
+		// Campaign shutdown: cancel cooperatively and give the trial the
+		// grace window to unwind. Its result is discarded either way — a
+		// partially executed trial must re-run on resume.
+		if _, ok := awaitGrace(); !ok {
+			return res, nil, statusCanceledLeaked
+		}
+		return res, nil, statusNotRun
+
+	case <-timeoutCh:
+		o, ok := awaitGrace()
+		if !ok {
+			// The trial ignored cancellation; abandon its goroutine. Its
+			// sink may still be written to, so no snapshot is taken.
+			res.Wall = time.Since(started)
+			res.Err = fmt.Sprintf("trial timed out after %v; goroutine abandoned after %v grace", opts.TrialTimeout, grace)
+			return res, nil, statusLeaked
+		}
+		if o.err == nil {
+			// Photo finish: the trial completed validly inside the grace
+			// window. Keep the real result.
+			return finish(o)
+		}
+		res.Wall = time.Since(started)
+		res.Metrics = sink.Snapshot()
+		res.Err = fmt.Sprintf("trial timed out after %v: %v", opts.TrialTimeout, o.err)
+		return res, sink.Recorder(), statusTimedOut
+	}
 }
 
 // fillOps publishes the run's operational (wall-clock) metrics.
-func fillOps(o *Outcome, workers int, results []TrialResult) {
+func fillOps(o *Outcome, workers int, cache *diskCache, results []TrialResult) {
 	o.Ops.Gauge("sweep.pool.workers").Set(float64(workers))
 	o.Ops.Counter("sweep.trials.executed").Add(int64(o.Executed))
 	o.Ops.Counter("sweep.trials.cached").Add(int64(o.Cached))
 	o.Ops.Counter("sweep.trials.failed").Add(int64(o.Failed))
+	o.Ops.Counter("sweep.trials.canceled").Add(int64(o.Canceled))
+	o.Ops.Counter("sweep.trials.timed_out").Add(int64(o.TimedOut))
+	o.Ops.Counter("sweep.trials.leaked").Add(int64(o.Leaked))
+	if cache != nil {
+		o.Ops.Counter("sweep.cache.quarantined").Add(cache.quarantined.Load())
+	}
 	h := o.Ops.Histogram("sweep.trial_wall_ms", telemetry.ExpBuckets(1, 4, 10))
 	var busy time.Duration
 	for _, r := range results {
-		if r.Cached {
+		if r.Cached || r.Wall == 0 {
 			continue
 		}
 		h.Observe(float64(r.Wall) / float64(time.Millisecond))
