@@ -2,7 +2,7 @@ GO ?= go
 J ?= 0
 SWEEP_SPEC ?= specs/ci-sweep.json
 
-.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep
+.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep simd-race simd-chaos simd-load
 
 all: check
 
@@ -74,6 +74,25 @@ sweep-interrupt:
 bench-sweep:
 	$(GO) test -run '^$$' -bench BenchmarkCampaign -benchtime 3x ./internal/sweep/
 
+# simd-race runs the campaign daemon and chaos-injector tests under the race
+# detector (also part of the full `race` target).
+simd-race:
+	$(GO) test -race ./internal/simd/... ./internal/fault/chaos/...
+
+# simd-chaos is the daemon crash-tolerance gate: SIGKILL the daemon
+# mid-campaign, restart it on the same store, and require a resume with zero
+# re-executed trials, artifacts byte-identical to a never-crashed CLI run,
+# and a clean SIGTERM drain afterwards.
+simd-chaos:
+	sh scripts/simd-chaos-check.sh $(SWEEP_SPEC) /tmp/mkos-simd-chaos
+
+# simd-load floods the daemon — 200 clients submitting one identical tiny
+# campaign (must collapse to one execution), then 60 distinct campaigns
+# against a tiny queue (overflow must be refused and accounted) — and
+# regenerates results/BENCH_simd.json.
+simd-load:
+	sh scripts/simd-load-smoke.sh specs/simd-smoke.json /tmp/mkos-simd-load
+
 # determinism runs the fault-injection sweep twice with telemetry artifacts
 # enabled and fails on any byte difference — the metrics dump and trace JSON
 # must be identical for identical seeds.
@@ -87,6 +106,6 @@ determinism:
 	@echo "telemetry artifacts byte-identical across runs"
 
 # check is what CI runs: formatting, vet, the simlint invariant gate,
-# build, the full suite under the race detector, and both determinism
-# gates.
-check: fmt vet lint build race determinism sweep-determinism sweep-interrupt
+# build, the full suite under the race detector, the determinism gates,
+# and the daemon chaos/load gates.
+check: fmt vet lint build race determinism sweep-determinism sweep-interrupt simd-chaos simd-load

@@ -9,15 +9,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mkos/internal/apps"
 	"mkos/internal/cluster"
 	"mkos/internal/noise"
 	"mkos/internal/sim"
+	"mkos/internal/sweep"
 )
 
 func main() {
@@ -56,6 +60,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Two-stage interrupt handling: the first SIGINT/SIGTERM stops the
+	// per-node loop at the next node boundary and reports the nodes already
+	// measured; a second force-exits.
+	ctx, stop := sweep.SignalContext(context.Background(), os.Stderr)
+	defer stop()
 	if *ftq {
 		runFTQ(p, kind, node, *workUS, *minutes, *seed)
 		return
@@ -65,9 +74,14 @@ func main() {
 		Duration: time.Duration(*minutes * float64(time.Minute)),
 		Cores:    node.AppCores(),
 	}
-	analyses, _, err := apps.FWQAcrossNodes(cfg, node.OS(), *nodes, *seed)
-	if err != nil {
+	analyses, _, err := apps.FWQAcrossNodesContext(ctx, cfg, node.OS(), *nodes, *seed)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		log.Fatal(err)
+	}
+	if interrupted && len(analyses) == 0 {
+		log.Print("interrupted before any node finished")
+		os.Exit(130)
 	}
 	if *perNode {
 		for i, a := range analyses {
@@ -80,12 +94,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("FWQ on %s/%s: %d node(s), %d cores/node, quantum %v, duration %v\n",
-		p.Name, kind, *nodes, len(cfg.Cores), cfg.Work, cfg.Duration)
+		p.Name, kind, len(analyses), len(cfg.Cores), cfg.Work, cfg.Duration)
+	if interrupted {
+		fmt.Printf("  (interrupted: %d of %d nodes measured)\n", len(analyses), *nodes)
+	}
 	fmt.Printf("  iterations        %d\n", m.N)
 	fmt.Printf("  Tmin              %v\n", m.Tmin)
 	fmt.Printf("  Tmax              %v\n", m.Tmax)
 	fmt.Printf("  max noise length  %v\n", m.MaxNoise)
 	fmt.Printf("  noise rate (Eq.2) %.3g\n", m.Rate)
+	if interrupted {
+		os.Exit(130)
+	}
 }
 
 // runFTQ executes the fixed-time-quanta companion benchmark.

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -20,6 +22,7 @@ import (
 	"mkos/internal/kernel"
 	"mkos/internal/linux"
 	"mkos/internal/mckernel"
+	"mkos/internal/sweep"
 )
 
 func main() {
@@ -49,6 +52,39 @@ func main() {
 		host.Name(), host.Topo.NumCores(), len(host.Topo.AppCores()), len(host.Topo.AssistantCores()))
 
 	mgr := ihk.NewManager(host)
+
+	// Two-stage interrupt handling around the management flow: the first
+	// SIGINT/SIGTERM stops at the next stage boundary and returns every
+	// reserved resource to Linux — a half-torn-down partition is exactly the
+	// failure mode the real ihkconfig tooling guards against — and a second
+	// signal force-exits. checkpoint is called between stages; teardown
+	// inspects how far the flow got.
+	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
+	defer stopSignals()
+	checkpoint := func(stage string) {
+		if ctx.Err() == nil {
+			return
+		}
+		log.Printf("interrupted before %s: returning resources to linux", stage)
+		if mgr.Booted() {
+			if err := mgr.Shutdown(); err != nil {
+				log.Printf("shutdown: %v", err)
+			}
+		}
+		if mgr.ReservedMemoryBytes() > 0 {
+			if err := mgr.ReleaseMemory(); err != nil {
+				log.Printf("release memory: %v", err)
+			}
+		}
+		if cpus := mgr.ReservedCPUs(); len(cpus) > 0 {
+			if err := mgr.ReleaseCPUs(cpus); err != nil {
+				log.Printf("release cpus: %v", err)
+			}
+		}
+		os.Exit(130)
+	}
+
+	checkpoint("cpu/memory reservation")
 	appCores := host.Topo.AppCores()
 	n := *cores
 	if n <= 0 || n > len(appCores) {
@@ -63,6 +99,7 @@ func main() {
 	fmt.Printf("ihk: reserved cpus %v (%d), %d GiB total\n",
 		compact(mgr.ReservedCPUs()), n, mgr.ReservedMemoryBytes()>>30)
 
+	checkpoint("LWK boot")
 	part, err := mgr.Boot()
 	if err != nil {
 		log.Fatal(err)
@@ -74,6 +111,7 @@ func main() {
 	fmt.Printf("mckernel: booted (%s), %d MiB LWK-managed memory\n",
 		lwk.Name(), lwk.LWKMem.TotalBytes()>>20)
 
+	checkpoint("process spawn")
 	name, threads, err := parseSpawn(*spawn)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,273 @@
+// Command simctl is the simd client: it submits campaign specs to a
+// running daemon and interrogates their state, with the retry discipline
+// built into the client package — deterministic capped backoff through
+// backpressure (429), drain (503) and daemon restarts, and idempotent
+// resubmission keyed by the spec's content hash.
+//
+// Output is plain key=value lines so shell gates can parse it without a
+// JSON tool; -json switches to the raw response body.
+//
+// Usage:
+//
+//	simctl [-addr URL] [-client NAME] [-json] COMMAND [ARGS]
+//
+//	  id SPEC            print the content-addressed campaign id of a spec
+//	  submit SPEC        submit a spec (idempotent); prints id and state
+//	  await ID           poll until the campaign is terminal; rides out restarts
+//	  run SPEC           submit then await
+//	  status ID          one status fetch
+//	  results ID         print results.json of a done campaign
+//	  cancel ID          cancel a queued or running campaign
+//	  stats              daemon operational counters
+//	  wait-up            block until the daemon answers /v1/healthz
+//	  flood -n N SPEC    N concurrent submits (see -distinct, -slow)
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"mkos/internal/fault/chaos"
+	"mkos/internal/simd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simctl: ")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	client := flag.String("client", "", "fairness identity sent as X-Simd-Client")
+	asJSON := flag.Bool("json", false, "print raw JSON responses instead of key=value lines")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	c := &simd.Client{BaseURL: *addr, ClientID: *client}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "id":
+		spec := readSpec(args)
+		id, _, err := simd.SpecID(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("id=%s\n", id)
+	case "submit":
+		st, err := c.Submit(ctx, readSpec(args))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStatus(st, *asJSON)
+	case "await":
+		st, err := c.Await(ctx, oneArg(args, "campaign id"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStatus(st, *asJSON)
+		if st.State != simd.StateDone {
+			os.Exit(1)
+		}
+	case "run":
+		st, err := c.Submit(ctx, readSpec(args))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st, err = c.Await(ctx, st.ID); err != nil {
+			log.Fatal(err)
+		}
+		printStatus(st, *asJSON)
+		if st.State != simd.StateDone {
+			os.Exit(1)
+		}
+	case "status":
+		st, err := c.Status(ctx, oneArg(args, "campaign id"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStatus(st, *asJSON)
+	case "results":
+		blob, err := c.Results(ctx, oneArg(args, "campaign id"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(blob)
+	case "cancel":
+		st, err := c.Cancel(ctx, oneArg(args, "campaign id"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStatus(st, *asJSON)
+	case "stats":
+		st, blob, err := c.Stats(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(st, blob, *asJSON)
+	case "wait-up":
+		wctx := ctx
+		if *timeout <= 0 {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+		}
+		if err := c.WaitUp(wctx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("up=true")
+	case "flood":
+		flood(ctx, *addr, args)
+	default:
+		log.Fatalf("unknown command %q (want id|submit|await|run|status|results|cancel|stats|wait-up|flood)", cmd)
+	}
+}
+
+// flood fires N concurrent submissions at the daemon — the load-smoke and
+// chaos harness primitive. With -distinct each submission rewrites the spec
+// name to name-i, producing N distinct campaigns whose trials still share
+// the content-addressed cache (the campaign name is not part of a trial's
+// cache key); without it all N collapse onto one campaign by content hash.
+// With -slow each client drains responses through a deterministic
+// chaos.SlowReader, modeling slow consumers that must not wedge the daemon.
+func flood(ctx context.Context, addr string, args []string) {
+	fs := flag.NewFlagSet("flood", flag.ExitOnError)
+	n := fs.Int("n", 200, "concurrent clients")
+	distinct := fs.Bool("distinct", false, "give every submission a distinct campaign name")
+	slow := fs.Bool("slow", false, "read responses slowly (chaos.SlowReader)")
+	seed := fs.Int64("seed", 1, "chaos plan seed for slow-reader delays")
+	attempts := fs.Int("attempts", 1, "submit attempts per client (1 = surface rejections)")
+	fs.Parse(args)
+	spec := readSpec(fs.Args())
+
+	plan := chaos.Plan{Seed: *seed}
+	tally := chaos.Flood(*n, func(i int) error {
+		body := spec
+		if *distinct {
+			var err error
+			if body, err = renameSpec(spec, i); err != nil {
+				return err
+			}
+		}
+		c := &simd.Client{
+			BaseURL:     addr,
+			ClientID:    fmt.Sprintf("flood-%03d", i),
+			MaxAttempts: *attempts,
+		}
+		if *slow {
+			c.WrapBody = func(r io.Reader) io.Reader {
+				return &chaos.SlowReader{
+					R:     r,
+					Chunk: 1 + plan.Int("chunk", i, 0, 16),
+					Delay: plan.Delay("read", i, time.Millisecond, 5*time.Millisecond),
+				}
+			}
+		}
+		_, err := c.Submit(ctx, body)
+		return err
+	})
+	fmt.Printf("flood_n=%d\nflood_ok=%d\nflood_failed=%d\n", *n, tally.OK, tally.Failed)
+	for _, e := range tally.Errs {
+		fmt.Fprintf(os.Stderr, "flood: %v\n", e)
+	}
+}
+
+// renameSpec rewrites the spec's campaign name to "<name>-<i>" so flood
+// -distinct submissions have distinct content hashes.
+func renameSpec(spec []byte, i int) ([]byte, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(spec, &m); err != nil {
+		return nil, err
+	}
+	name := "sweep"
+	if raw, ok := m["name"]; ok {
+		json.Unmarshal(raw, &name)
+	}
+	blob, err := json.Marshal(fmt.Sprintf("%s-%d", name, i))
+	if err != nil {
+		return nil, err
+	}
+	m["name"] = blob
+	return json.Marshal(m)
+}
+
+// readSpec loads the spec operand: a path, or "-" for stdin.
+func readSpec(args []string) []byte {
+	path := oneArg(args, "spec file")
+	var blob []byte
+	var err error
+	if path == "-" {
+		blob, err = io.ReadAll(os.Stdin)
+	} else {
+		blob, err = os.ReadFile(path)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return blob
+}
+
+func oneArg(args []string, what string) string {
+	if len(args) != 1 {
+		log.Fatalf("expected exactly one %s operand", what)
+	}
+	return args[0]
+}
+
+func printStatus(st simd.Status, asJSON bool) {
+	if asJSON {
+		blob, _ := json.MarshalIndent(st, "", "  ")
+		os.Stdout.Write(append(blob, '\n'))
+		return
+	}
+	fmt.Printf("id=%s state=%s total=%d executed=%d cached=%d failed=%d",
+		st.ID, st.State, st.Total, st.Executed, st.Cached, st.Failed)
+	if st.Deduped {
+		fmt.Printf(" deduped=true")
+	}
+	if st.Err != "" {
+		fmt.Printf(" err=%q", st.Err)
+	}
+	fmt.Println()
+}
+
+func printStats(st simd.Stats, blob []byte, asJSON bool) {
+	if asJSON {
+		var out bytes.Buffer
+		if json.Indent(&out, blob, "", "  ") == nil {
+			out.WriteByte('\n')
+			os.Stdout.Write(out.Bytes())
+			return
+		}
+		os.Stdout.Write(blob)
+		return
+	}
+	fmt.Printf("draining=%v queue_depth=%d\n", st.Draining, st.QueueDepth)
+	fmt.Printf("admitted=%d deduped=%d resumed=%d\n", st.Admitted, st.Deduped, st.Resumed)
+	fmt.Printf("rejected_total=%d rejected_queue_full=%d rejected_client_backlog=%d rejected_draining=%d\n",
+		st.Rejected.Total(), st.Rejected.QueueFull, st.Rejected.ClientBacklog, st.Rejected.Draining)
+	fmt.Printf("trials_executed=%d trials_cached=%d trials_failed=%d cache_hit_rate=%.3f\n",
+		st.Trials.Executed, st.Trials.Cached, st.Trials.Failed, st.CacheHitRate)
+	fmt.Printf("latency_count=%d latency_p50_ms=%.1f latency_p90_ms=%.1f latency_p99_ms=%.1f latency_max_ms=%.1f\n",
+		st.SubmitToResultMS.Count, st.SubmitToResultMS.P50, st.SubmitToResultMS.P90,
+		st.SubmitToResultMS.P99, st.SubmitToResultMS.Max)
+	// Campaign state counts in fixed order (stable output for shell parsing).
+	for _, state := range []string{"queued", "running", "done", "failed", "canceled", "interrupted"} {
+		fmt.Printf("campaigns_%s=%d ", state, st.Campaigns[state])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,68 @@
+// Command simd is the campaign daemon: simulation-as-a-service in front of
+// the sweep orchestrator. It accepts the declarative campaign specs the
+// CLIs consume (POST /v1/campaigns), executes them with bounded admission,
+// per-client fairness and a shared content-addressed result store, and is
+// built to survive its own death: every admitted campaign persists in the
+// store, every finished trial lands in a crash-safe journal, and a
+// SIGKILLed daemon restarted on the same -store resumes every unfinished
+// campaign with zero re-executed trials and byte-identical artifacts.
+//
+// Shutdown reuses the two-stage signal story of every CLI here: the first
+// SIGINT/SIGTERM stops admission (typed 503), lets running campaigns finish
+// for -drain-grace, then cancels them cooperatively and flushes their
+// partial state; a second signal force-exits.
+//
+// Usage:
+//
+//	simd -store /var/lib/simd [-addr :8080] [-j 4] [-concurrency 1]
+//	     [-max-queue 64] [-max-per-client 8] [-trial-timeout 0]
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+
+	"mkos/internal/simd"
+	"mkos/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simd: ")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	store := flag.String("store", "", "state directory: campaign specs, statuses, artifacts and the shared trial cache")
+	workers := flag.Int("j", 0, "sweep workers per campaign (0 = all cores)")
+	concurrency := flag.Int("concurrency", 1, "campaigns running at once")
+	maxQueue := flag.Int("max-queue", 64, "queued-campaign bound across all clients")
+	maxPerClient := flag.Int("max-per-client", 8, "queued-campaign bound per client")
+	trialTimeout := flag.Duration("trial-timeout", 0, "fail any single trial exceeding this wall time (0 = no limit)")
+	drainGrace := flag.Duration("drain-grace", 0, "how long running campaigns may finish naturally on drain (0 = default 2s)")
+	flag.Parse()
+	if *store == "" {
+		log.Fatal("provide -store DIR (the daemon's durable state)")
+	}
+
+	srv, err := simd.NewServer(simd.Options{
+		Store:        *store,
+		Workers:      *workers,
+		Concurrency:  *concurrency,
+		MaxQueue:     *maxQueue,
+		MaxPerClient: *maxPerClient,
+		TrialTimeout: *trialTimeout,
+		DrainGrace:   *drainGrace,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First SIGINT/SIGTERM cancels the context → ListenAndServe drains;
+	// a second force-exits (sweep.SignalContext stage two).
+	ctx, stop := sweep.SignalContext(context.Background(), os.Stderr)
+	defer stop()
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"mkos/internal/core"
+	"mkos/internal/sweep"
 )
 
 func main() {
@@ -33,9 +35,30 @@ func main() {
 		Duration: time.Duration(*minutes * float64(time.Minute)),
 		Seed:     *seed,
 	}
-	rows, err := core.Table2(cfg)
-	if err != nil {
-		log.Fatal(err)
+
+	// Each variant is an independent multi-minute FWQ rerun, so regenerate
+	// the table row by row under a two-stage interrupt handler: the first
+	// SIGINT/SIGTERM stops at the next variant boundary and prints the rows
+	// already computed; a second force-exits. Rows are deterministic per
+	// variant, so a partial table is a prefix of the full one.
+	ctx, stop := sweep.SignalContext(context.Background(), os.Stderr)
+	defer stop()
+	var rows []core.Table2Row
+	interrupted := false
+	variants := core.Table2Variants()
+	for _, name := range variants {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		row, err := core.Table2Variant(cfg, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	if interrupted {
+		log.Printf("interrupted: %d of %d rows computed", len(rows), len(variants))
 	}
 
 	if *asJSON {
@@ -62,6 +85,9 @@ func main() {
 		if err := enc.Encode(out); err != nil {
 			log.Fatal(err)
 		}
+		if interrupted {
+			os.Exit(130)
+		}
 		return
 	}
 
@@ -73,6 +99,9 @@ func main() {
 		p := paper[r.Disabled]
 		fmt.Printf("%-32s %18.2f %12.3g %14.2f %12.3g\n",
 			r.Disabled, float64(r.MaxNoise)/float64(time.Microsecond), r.NoiseRate, p.maxUS, p.rate)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 

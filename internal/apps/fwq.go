@@ -5,6 +5,7 @@
 package apps
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -103,6 +104,15 @@ type NoiseProfiler interface {
 // deriving per-node RNG streams from the base seed (node subsets are stable
 // per sim.Rand.Derive semantics). It returns one analysis per node.
 func FWQAcrossNodes(cfg FWQConfig, prof NoiseProfiler, nodes int, seed int64) ([]noise.Analysis, []*FWQRun, error) {
+	return FWQAcrossNodesContext(context.Background(), cfg, prof, nodes, seed)
+}
+
+// FWQAcrossNodesContext is FWQAcrossNodes with cooperative cancellation: the
+// context is checked between nodes, and on cancellation the analyses of the
+// nodes already simulated are returned alongside the context's error. Node n
+// always sees the same derived RNG stream, so a canceled run's partial
+// results are a prefix of the full run's.
+func FWQAcrossNodesContext(ctx context.Context, cfg FWQConfig, prof NoiseProfiler, nodes int, seed int64) ([]noise.Analysis, []*FWQRun, error) {
 	if nodes <= 0 {
 		return nil, nil, ErrBadFWQConfig
 	}
@@ -111,6 +121,9 @@ func FWQAcrossNodes(cfg FWQConfig, prof NoiseProfiler, nodes int, seed int64) ([
 	analyses := make([]noise.Analysis, 0, nodes)
 	runs := make([]*FWQRun, 0, nodes)
 	for n := 0; n < nodes; n++ {
+		if err := ctx.Err(); err != nil {
+			return analyses, runs, err
+		}
 		tl := p.Timeline(cfg.Duration, base.Derive(int64(n)))
 		run, err := RunFWQ(cfg, tl)
 		if err != nil {

@@ -1,0 +1,72 @@
+package chaos_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"mkos/internal/fault/chaos"
+)
+
+// TestPlanDeterminism pins the injector-schedule contract: same seed, same
+// schedule; draws are independent across names and indices.
+func TestPlanDeterminism(t *testing.T) {
+	a, b := chaos.NewPlan(7), chaos.NewPlan(7)
+	for i := 0; i < 10; i++ {
+		if x, y := a.Delay("kill", i, time.Second, 3*time.Second), b.Delay("kill", i, time.Second, 3*time.Second); x != y {
+			t.Fatalf("draw %d differs across identical plans: %v vs %v", i, x, y)
+		}
+	}
+	if x := a.Delay("kill", 0, time.Second, 3*time.Second); x < time.Second || x > 3*time.Second {
+		t.Fatalf("delay %v outside [1s,3s]", x)
+	}
+	if a.Delay("kill", 0, time.Second, 3*time.Second) == a.Delay("restart", 0, time.Second, 3*time.Second) &&
+		a.Delay("kill", 1, time.Second, 3*time.Second) == a.Delay("restart", 1, time.Second, 3*time.Second) {
+		t.Fatal("named schedules are not independent")
+	}
+	if v := chaos.NewPlan(8).Delay("kill", 0, time.Second, 3*time.Second); v == a.Delay("kill", 0, time.Second, 3*time.Second) {
+		t.Fatal("different seeds drew the same schedule")
+	}
+	if n := a.Int("flood", 0, 5, 9); n < 5 || n > 9 {
+		t.Fatalf("int draw %d outside [5,9]", n)
+	}
+	if min := a.Delay("degenerate", 0, time.Second, time.Second); min != time.Second {
+		t.Fatalf("degenerate range returned %v, want min", min)
+	}
+}
+
+// TestSlowStreams verifies the trickle wrappers move every byte in bounded
+// chunks.
+func TestSlowStreams(t *testing.T) {
+	payload := strings.Repeat("x", 1000)
+	r := &chaos.SlowReader{R: strings.NewReader(payload), Chunk: 64}
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != payload {
+		t.Fatalf("slow reader: err=%v len=%d", err, len(got))
+	}
+
+	var buf bytes.Buffer
+	w := &chaos.SlowWriter{W: &buf, Chunk: 7}
+	n, err := w.Write([]byte(payload))
+	if err != nil || n != len(payload) || buf.String() != payload {
+		t.Fatalf("slow writer: n=%d err=%v", n, err)
+	}
+}
+
+// TestFlood tallies concurrent client outcomes.
+func TestFlood(t *testing.T) {
+	tally := chaos.Flood(50, func(i int) error {
+		if i%10 == 0 {
+			return io.ErrUnexpectedEOF
+		}
+		return nil
+	})
+	if tally.OK != 45 || tally.Failed != 5 {
+		t.Fatalf("tally %d ok / %d failed, want 45/5", tally.OK, tally.Failed)
+	}
+	if len(tally.Errs) == 0 {
+		t.Fatal("no errors retained")
+	}
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Killer is the daemon-kill injector: it owns a service subprocess and can
+// SIGKILL it at a planned instant — no SIGTERM courtesy, no drain window —
+// then start a fresh incarnation with the same arguments. A service that
+// claims crash tolerance must survive this loop with its on-disk state as
+// the only witness; internal/simd's chaos test and the
+// scripts/simd-chaos-check.sh CI gate both drive it (the script via plain
+// shell `kill -9`, the test via this type).
+type Killer struct {
+	// Path and Args configure the subprocess (Args excludes the program
+	// name, as for exec.Command). Stdout/Stderr, when non-nil, receive the
+	// process output of every incarnation.
+	Path   string
+	Args   []string
+	Stdout *os.File
+	Stderr *os.File
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+}
+
+// Start launches a new incarnation. It fails if one is already running.
+func (k *Killer) Start() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.cmd != nil {
+		return fmt.Errorf("chaos: killer already owns pid %d", k.cmd.Process.Pid)
+	}
+	cmd := exec.Command(k.Path, k.Args...)
+	if k.Stdout != nil {
+		cmd.Stdout = k.Stdout
+	}
+	if k.Stderr != nil {
+		cmd.Stderr = k.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("chaos: starting %s: %w", k.Path, err)
+	}
+	k.cmd = cmd
+	return nil
+}
+
+// Kill waits delay, then SIGKILLs the current incarnation and reaps it. The
+// returned error reflects injector problems only — the subprocess dying of
+// SIGKILL is the intended outcome, not an error.
+func (k *Killer) Kill(delay time.Duration) error {
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	k.mu.Lock()
+	cmd := k.cmd
+	k.cmd = nil
+	k.mu.Unlock()
+	if cmd == nil {
+		return fmt.Errorf("chaos: no process to kill")
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return fmt.Errorf("chaos: SIGKILL pid %d: %w", cmd.Process.Pid, err)
+	}
+	cmd.Wait() // reap; exit status is expected to be the kill
+	return nil
+}
+
+// Stop ends the current incarnation gracefully (SIGTERM) and waits for it —
+// the clean-shutdown counterpart used after a chaos sequence completes. The
+// process's exit error, if any, is returned so callers can assert a clean
+// drain.
+func (k *Killer) Stop() error {
+	k.mu.Lock()
+	cmd := k.cmd
+	k.cmd = nil
+	k.mu.Unlock()
+	if cmd == nil {
+		return nil
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("chaos: SIGTERM pid %d: %w", cmd.Process.Pid, err)
+	}
+	return cmd.Wait()
+}
+
+// Running reports whether an incarnation is currently owned.
+func (k *Killer) Running() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.cmd != nil
+}

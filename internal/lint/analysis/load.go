@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -117,6 +118,14 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 			continue
 		}
 		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _GOOS/_GOARCH
+		// suffixes) for the host platform, as the compiler would —
+		// otherwise a package with platform-split files (e.g. a unix
+		// flock and its stub) presents both halves at once and fails to
+		// type-check.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)

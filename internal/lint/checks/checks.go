@@ -29,6 +29,8 @@ func All() []*analysis.Analyzer {
 var opsPrefixes = []string{
 	"mkos/internal/sweep",
 	"mkos/internal/lint",
+	"mkos/internal/simd",        // service plumbing: queues, latency histograms, drains
+	"mkos/internal/fault/chaos", // chaos injectors exist to perturb real time
 	"mkos/cmd",
 	"mkos/examples",
 }

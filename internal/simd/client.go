@@ -1,0 +1,255 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a simd daemon with the retry discipline a shared-machine
+// campaign client needs: deterministic capped-backoff retries on typed
+// rejections (429 backpressure, 503 drain) and on transport errors — the
+// daemon being down mid-restart is an expected, recoverable condition here,
+// not a failure — and idempotent resubmission, which is safe because a
+// campaign's identity is the content hash of its spec: a resubmitted spec
+// lands on the same campaign, never a duplicate execution.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// ClientID is the fairness identity sent as X-Simd-Client; empty lets
+	// the daemon key fairness on the peer address.
+	ClientID string
+	// HTTP is the transport; nil uses a default client with no global
+	// timeout (individual calls are bounded by their contexts).
+	HTTP *http.Client
+
+	// MaxAttempts bounds one operation's tries; <= 0 means 10.
+	MaxAttempts int
+	// BaseDelay seeds the deterministic backoff schedule: attempt n waits
+	// min(BaseDelay·2ⁿ, MaxDelay). No jitter — a reproducible client
+	// produces reproducible load, which is what the chaos and flood
+	// harnesses need. <= 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the schedule; <= 0 means 2s.
+	MaxDelay time.Duration
+	// PollInterval paces Await's status polls; <= 0 means 150ms.
+	PollInterval time.Duration
+
+	// WrapBody, when non-nil, wraps every response body reader before it is
+	// consumed — the seam the slow-client chaos injector plugs into.
+	WrapBody func(io.Reader) io.Reader
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 10
+}
+
+// Backoff returns the deterministic delay before retry attempt i (0-based):
+// min(BaseDelay·2ⁱ, MaxDelay), no jitter. Exported so harnesses can predict
+// a client's exact retry schedule.
+func (c *Client) Backoff(i int) time.Duration {
+	base, max := c.BaseDelay, c.MaxDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(i)
+	if d <= 0 || d > max { // <= 0 guards shift overflow
+		return max
+	}
+	return d
+}
+
+func (c *Client) poll() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 150 * time.Millisecond
+}
+
+// apiError is a typed non-2xx response.
+type apiError struct {
+	code int
+	resp ErrorResponse
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("simd: HTTP %d: %s%s", e.code, e.resp.Error, errSuffix(e.resp.Detail))
+}
+
+// retryable reports whether the failure is worth another attempt: transport
+// errors (daemon down or restarting) and explicit backpressure are; typed
+// client mistakes (bad spec, unknown id) are not.
+func retryable(err error) bool {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		switch ae.code {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+			http.StatusConflict, http.StatusInternalServerError:
+			return true
+		}
+		return false
+	}
+	return err != nil // transport-level
+}
+
+// do issues one request and decodes the response into out (when non-nil),
+// returning the raw body bytes.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if c.ClientID != "" {
+		req.Header.Set("X-Simd-Client", c.ClientID)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var r io.Reader = resp.Body
+	if c.WrapBody != nil {
+		r = c.WrapBody(resp.Body)
+	}
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		var er ErrorResponse
+		json.Unmarshal(blob, &er)
+		return blob, &apiError{code: resp.StatusCode, resp: er}
+	}
+	if out != nil {
+		if err := json.Unmarshal(blob, out); err != nil {
+			return blob, fmt.Errorf("simd: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return blob, nil
+}
+
+// retry runs op under the deterministic backoff schedule until it succeeds,
+// exhausts MaxAttempts, or the context ends.
+func (c *Client) retry(ctx context.Context, op func() error) error {
+	var err error
+	for i := 0; i < c.attempts(); i++ {
+		if err = op(); err == nil || !retryable(err) {
+			return err
+		}
+		select {
+		case <-time.After(c.Backoff(i)):
+		case <-ctx.Done():
+			return fmt.Errorf("%w (last error: %v)", ctx.Err(), err)
+		}
+	}
+	return fmt.Errorf("simd: giving up after %d attempts: %w", c.attempts(), err)
+}
+
+// Submit sends a raw campaign spec, retrying through backpressure, drain and
+// daemon restarts. Resubmission is idempotent: the spec's content hash is
+// its campaign identity, so a retry after a lost response converges on the
+// campaign the first attempt created.
+func (c *Client) Submit(ctx context.Context, spec []byte) (Status, error) {
+	var st Status
+	err := c.retry(ctx, func() error {
+		_, err := c.do(ctx, http.MethodPost, "/v1/campaigns", spec, &st)
+		return err
+	})
+	return st, err
+}
+
+// Status fetches a campaign's current status (one attempt; Await wraps it
+// with retries).
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var st Status
+	_, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// Await polls until the campaign reaches a terminal state. Transport errors
+// are absorbed indefinitely (bounded only by ctx): the daemon dying and
+// coming back mid-campaign is precisely the scenario a crash-tolerant
+// client rides out.
+func (c *Client) Await(ctx context.Context, id string) (Status, error) {
+	for {
+		st, err := c.Status(ctx, id)
+		switch {
+		case err == nil && st.Terminal():
+			return st, nil
+		case err != nil && !retryable(err):
+			return st, err
+		}
+		select {
+		case <-time.After(c.poll()):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Results fetches the deterministic results.json of a done campaign,
+// retrying through restarts.
+func (c *Client) Results(ctx context.Context, id string) ([]byte, error) {
+	var blob []byte
+	err := c.retry(ctx, func() error {
+		var err error
+		blob, err = c.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/results", nil, nil)
+		return err
+	})
+	return blob, err
+}
+
+// Cancel requests cancellation of a queued or running campaign.
+func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
+	var st Status
+	_, err := c.do(ctx, http.MethodDelete, "/v1/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// Stats fetches the daemon's operational counters.
+func (c *Client) Stats(ctx context.Context) (Stats, []byte, error) {
+	var st Stats
+	blob, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, blob, err
+}
+
+// WaitUp polls /v1/healthz until the daemon answers or ctx ends — the
+// start-up barrier scripts need between launching the daemon and flooding
+// it.
+func (c *Client) WaitUp(ctx context.Context) error {
+	for {
+		if _, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil); err == nil {
+			return nil
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return fmt.Errorf("simd: daemon never came up: %w", ctx.Err())
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package simd
+
+import (
+	"errors"
+	"sync"
+)
+
+// Typed admission errors surfaced by fairQueue.push; the HTTP layer maps
+// them onto 429/503 bodies.
+var (
+	errQueueFull     = errors.New("simd: campaign queue is full")
+	errClientBacklog = errors.New("simd: client backlog limit reached")
+	errQueueClosed   = errors.New("simd: queue closed")
+)
+
+// fairQueue is the bounded admission queue with per-client fairness: each
+// client owns a FIFO backlog, and pop serves clients round-robin, one
+// campaign per turn. A client that fills its backlog allowance therefore
+// delays every other client by at most one campaign per round — the
+// flooding client waits behind itself, not the others behind it.
+//
+// Bounds are enforced at push (typed errors, never blocking), so admission
+// control is backpressure the client sees immediately rather than a stalled
+// connection.
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	max       int // total queued bound
+	perClient int // per-client backlog bound
+
+	backlog map[string][]*campaign // client -> FIFO backlog
+	ring    []string               // round-robin order of clients with backlog
+	cursor  int                    // next ring slot to serve
+	depth   int
+	closed  bool
+}
+
+func newFairQueue(max, perClient int) *fairQueue {
+	q := &fairQueue{max: max, perClient: perClient, backlog: make(map[string][]*campaign)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits one campaign for client, or refuses with a typed error.
+func (q *fairQueue) push(client string, c *campaign) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if q.depth >= q.max {
+		return errQueueFull
+	}
+	if len(q.backlog[client]) >= q.perClient {
+		return errClientBacklog
+	}
+	if len(q.backlog[client]) == 0 {
+		q.ring = append(q.ring, client)
+	}
+	q.backlog[client] = append(q.backlog[client], c)
+	q.depth++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks for the next campaign in round-robin client order. It returns
+// ok=false once the queue is closed — immediately, even with campaigns still
+// queued, because close means "stop dispatching" (drain persists the
+// backlog; it must not run it).
+func (q *fairQueue) pop() (*campaign, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, false
+		}
+		if q.depth > 0 {
+			if q.cursor >= len(q.ring) {
+				q.cursor = 0
+			}
+			client := q.ring[q.cursor]
+			b := q.backlog[client]
+			c := b[0]
+			if len(b) == 1 {
+				delete(q.backlog, client)
+				q.ring = append(q.ring[:q.cursor], q.ring[q.cursor+1:]...)
+				// cursor now points at the next client already.
+			} else {
+				q.backlog[client] = b[1:]
+				q.cursor++
+			}
+			q.depth--
+			return c, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// remove unqueues a campaign by id (operator cancel of queued work),
+// reporting whether it was found.
+func (q *fairQueue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Scan via the ring (every client with backlog is on it) so the walk
+	// order is defined.
+	for _, client := range append([]string(nil), q.ring...) {
+		b := q.backlog[client]
+		for i, c := range b {
+			if c.id != id {
+				continue
+			}
+			if len(b) == 1 {
+				delete(q.backlog, client)
+				for j, r := range q.ring {
+					if r == client {
+						q.ring = append(q.ring[:j], q.ring[j+1:]...)
+						if q.cursor > j {
+							q.cursor--
+						}
+						break
+					}
+				}
+			} else {
+				q.backlog[client] = append(append([]*campaign(nil), b[:i]...), b[i+1:]...)
+			}
+			q.depth--
+			return true
+		}
+	}
+	return false
+}
+
+// close wakes every popper with ok=false; queued campaigns stay queued (the
+// store already has them as such — drain relies on that).
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// size returns the current depth.
+func (q *fairQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}

@@ -1,0 +1,654 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mkos/internal/sweep"
+	"mkos/internal/sweep/campaigns"
+	"mkos/internal/telemetry"
+)
+
+// campaign is the in-memory state of one admitted campaign.
+type campaign struct {
+	id    string
+	canon []byte // canonical spec JSON (what the id hashes)
+	built *sweep.Campaign
+
+	// st is the current wire status; guarded by Server.mu.
+	st Status
+	// cancel stops the running sweep; cancelReq distinguishes an operator
+	// cancel from a drain. Guarded by Server.mu.
+	cancel    context.CancelFunc
+	cancelReq bool
+	// submitted anchors the submit-to-result latency observation (reset to
+	// the requeue instant for campaigns resumed after a restart).
+	submitted time.Time
+}
+
+// Server is the campaign daemon: admission, fair queueing, execution through
+// the sweep orchestrator, persistence, and recovery.
+type Server struct {
+	opts  Options
+	store *store
+	queue *fairQueue
+	ops   *telemetry.Registry
+
+	mu    sync.Mutex
+	camps map[string]*campaign
+
+	draining atomic.Bool
+	hardKill atomic.Bool
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	wg        sync.WaitGroup
+
+	latency *telemetry.Histogram
+	mux     *http.ServeMux
+}
+
+// NewServer opens (or creates) the store, recovers persisted campaigns —
+// re-admitting every non-terminal one — and prepares the dispatcher pool.
+// Call Start to begin executing campaigns and Handler to serve the API.
+func NewServer(opts Options) (*Server, error) {
+	if opts.Store == "" {
+		return nil, errors.New("simd: Options.Store is required")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 64
+	}
+	if opts.MaxPerClient <= 0 {
+		opts.MaxPerClient = 8
+	}
+	if opts.DrainGrace <= 0 {
+		opts.DrainGrace = 2 * time.Second
+	}
+	if opts.Build == nil {
+		opts.Build = func(s *campaigns.Spec) (*sweep.Campaign, error) { return s.Campaign() }
+	}
+	st, err := openStore(opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:  opts,
+		store: st,
+		queue: newFairQueue(opts.MaxQueue, opts.MaxPerClient),
+		ops:   telemetry.NewRegistry(),
+		camps: make(map[string]*campaign),
+	}
+	s.latency = s.ops.Histogram("simd.submit_to_result_ms", telemetry.ExpBuckets(1, 2, 20))
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	s.buildMux()
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover re-admits persisted campaigns: terminal ones become servable
+// history, non-terminal ones (queued, running or interrupted at the moment
+// of a crash or drain) are rebuilt and requeued. The sweep journal makes the
+// requeued work nearly free: every trial that finished in a previous
+// incarnation restores from it without re-executing.
+func (s *Server) recover() error {
+	stored, err := s.store.scan()
+	if err != nil {
+		return err
+	}
+	for _, sc := range stored {
+		st := sc.status
+		st.ID = sc.id // trust the directory name over a torn status
+		c := &campaign{id: sc.id, canon: sc.spec, st: st, submitted: time.Now()}
+		if c.st.Terminal() {
+			s.camps[sc.id] = c
+			continue
+		}
+		spec, perr := campaigns.ParseSpec(sc.spec)
+		var built *sweep.Campaign
+		if perr == nil {
+			built, perr = s.opts.Build(spec)
+		}
+		if perr != nil {
+			c.st.State = StateFailed
+			c.st.Err = fmt.Sprintf("recovery: %v", perr)
+			s.camps[sc.id] = c
+			s.store.putStatus(sc.id, &c.st)
+			s.logf("campaign %s failed in recovery: %v", sc.id, perr)
+			continue
+		}
+		c.built = built
+		c.st.State = StateQueued
+		c.st.Total = len(built.Trials)
+		c.st.Executed, c.st.Cached, c.st.Failed, c.st.Err = 0, 0, 0, ""
+		s.camps[sc.id] = c
+		if qerr := s.queue.push(c.st.Client, c); qerr != nil {
+			c.st.State = StateFailed
+			c.st.Err = fmt.Sprintf("recovery requeue: %v", qerr)
+			s.store.putStatus(sc.id, &c.st)
+			continue
+		}
+		s.store.putStatus(sc.id, &c.st)
+		s.ops.Counter("simd.resumed").Inc()
+		s.logf("resumed campaign %s (%d trials)", sc.id, c.st.Total)
+	}
+	s.gaugeDepth()
+	return nil
+}
+
+// Start launches the dispatcher pool.
+func (s *Server) Start() {
+	for i := 0; i < s.opts.Concurrency; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				c, ok := s.queue.pop()
+				if !ok {
+					return
+				}
+				s.gaugeDepth()
+				s.runCampaign(c)
+			}
+		}()
+	}
+}
+
+// Drain is the graceful-shutdown path behind SIGTERM: stop admitting (new
+// submissions see a typed 503), give running campaigns DrainGrace to finish
+// naturally, then cancel them cooperatively — their finished trials are
+// journaled, their statuses persist as interrupted — and return once every
+// dispatcher has settled. Queued campaigns stay queued on disk; the next
+// incarnation resumes everything.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.queue.close()
+	settled := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(settled)
+	}()
+	select {
+	case <-settled:
+	case <-time.After(s.opts.DrainGrace):
+		s.runCancel()
+		<-settled
+	}
+	s.logf("drained: %d campaigns left queued for the next start", s.queue.size())
+}
+
+// Kill is the crash-simulation path (tests and the chaos harness): stop
+// everything mid-flight with no persistence courtesy — statuses stay
+// whatever the last atomic write made them, exactly as a SIGKILL would leave
+// them — and wait only for the dispatcher goroutines to exit so a successor
+// Server may safely open the same store.
+func (s *Server) Kill() {
+	s.hardKill.Store(true)
+	s.draining.Store(true)
+	s.queue.close()
+	s.runCancel()
+	s.wg.Wait()
+}
+
+// runCampaign executes one campaign through the sweep orchestrator and
+// settles its state.
+func (s *Server) runCampaign(c *campaign) {
+	ctx, cancel := context.WithCancel(s.runCtx)
+	defer cancel()
+	s.mu.Lock()
+	c.cancel = cancel
+	c.st.State = StateRunning
+	st := c.st
+	s.mu.Unlock()
+	if !s.hardKill.Load() {
+		s.store.putStatus(c.id, &st)
+	}
+	s.observe(c.id, StateRunning)
+
+	o, err := sweep.RunContext(ctx, c.built, sweep.Options{
+		Workers:      s.opts.Workers,
+		CacheDir:     s.store.cacheDir(),
+		Version:      s.opts.Version,
+		TrialTimeout: s.opts.TrialTimeout,
+		CancelGrace:  s.opts.CancelGrace,
+	})
+	if o != nil {
+		s.ops.Counter("simd.trials.executed").Add(int64(o.Executed))
+		s.ops.Counter("simd.trials.cached").Add(int64(o.Cached))
+		s.ops.Counter("simd.trials.failed").Add(int64(o.Failed))
+	}
+
+	s.mu.Lock()
+	c.cancel = nil
+	canceled := c.cancelReq
+	s.mu.Unlock()
+
+	switch {
+	case err == nil:
+		results := resultsJSON(o)
+		var metrics bytes.Buffer
+		if _, werr := o.Registry.WriteTo(&metrics); werr != nil {
+			s.settle(c, StateFailed, o, fmt.Sprintf("rendering metrics: %v", werr))
+			return
+		}
+		if aerr := s.store.putArtifacts(c.id, results, metrics.Bytes()); aerr != nil {
+			s.settle(c, StateFailed, o, fmt.Sprintf("writing artifacts: %v", aerr))
+			return
+		}
+		s.settle(c, StateDone, o, "")
+		s.logf("campaign %s: %d trials: %d executed, %d cached, %d failed",
+			c.id, len(o.Results), o.Executed, o.Cached, o.Failed)
+
+	case errors.Is(err, sweep.ErrInterrupted):
+		switch {
+		case canceled:
+			s.settle(c, StateCanceled, o, "")
+			s.logf("campaign %s canceled (%d trials unfinished)", c.id, o.Canceled)
+		default:
+			// Drain or hard kill: the campaign is not over, it is paused.
+			// Finished trials are already journaled; persist the
+			// interruption (unless we are simulating a crash, which gets no
+			// courtesy writes) so the next incarnation requeues it.
+			s.settle(c, StateInterrupted, o, "")
+			s.logf("campaign %s interrupted: %d trials journaled for resume", c.id, o.Executed+o.Cached)
+		}
+
+	default:
+		s.settle(c, StateFailed, o, err.Error())
+		s.logf("campaign %s failed: %v", c.id, err)
+	}
+}
+
+// settle moves a campaign to its post-run state, persists it (except under a
+// simulated crash), and publishes the latency observation for terminal
+// outcomes.
+func (s *Server) settle(c *campaign, state string, o *sweep.Outcome, errMsg string) {
+	s.mu.Lock()
+	c.st.State = state
+	c.st.Err = errMsg
+	if o != nil {
+		c.st.Executed, c.st.Cached, c.st.Failed = o.Executed, o.Cached, o.Failed
+	}
+	st := c.st
+	elapsed := time.Since(c.submitted)
+	s.mu.Unlock()
+	if !s.hardKill.Load() {
+		s.store.putStatus(c.id, &st)
+	}
+	if st.Terminal() {
+		s.latency.Observe(float64(elapsed) / float64(time.Millisecond))
+		s.ops.Counter("simd.campaigns." + state).Inc()
+	}
+	s.observe(c.id, state)
+}
+
+// resultsJSON renders the deterministic results artifact in exactly the
+// complete-run format cmd/sweep writes, so a campaign served by the daemon
+// byte-compares against one run by the CLI.
+func resultsJSON(o *sweep.Outcome) []byte {
+	blob, err := json.MarshalIndent(o.Results, "", "  ")
+	if err != nil {
+		// Results marshaled once already (per trial); a failure here is a
+		// programming error surfaced as an empty artifact rather than a
+		// daemon crash.
+		return []byte("[]\n")
+	}
+	return append(blob, '\n')
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves the API on addr until ctx is canceled, then drains:
+// stops admitting, finishes or journals in-flight work, and shuts the
+// listener down. It returns once the drain completes.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		err := srv.ListenAndServe()
+		if !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	s.Start()
+	s.logf("serving on %s (store %s)", addr, s.opts.Store)
+	select {
+	case err := <-errCh:
+		s.queue.close()
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("draining: admission closed, finishing or journaling in-flight campaigns")
+	s.Drain()
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shctx)
+}
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux = mux
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func reject(w http.ResponseWriter, code int, reason, detail string, retryAfter time.Duration) {
+	writeJSON(w, code, ErrorResponse{Error: reason, Detail: detail, RetryAfterMS: int64(retryAfter / time.Millisecond)})
+}
+
+// clientID resolves the requester's fairness identity: the self-declared
+// X-Simd-Client header when present (trusted — fairness is cooperative
+// scheduling, not security), else the peer host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Simd-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
+	if err != nil {
+		reject(w, http.StatusRequestEntityTooLarge, ReasonTooLarge,
+			fmt.Sprintf("spec bodies are capped at %d bytes", MaxSpecBytes), 0)
+		return
+	}
+	if s.draining.Load() {
+		s.ops.Counter("simd.rejected.draining").Inc()
+		reject(w, http.StatusServiceUnavailable, ReasonDraining, "daemon is draining; retry against the next incarnation", time.Second)
+		return
+	}
+	id, spec, err := SpecID(body)
+	if err != nil {
+		reject(w, http.StatusBadRequest, ReasonBadSpec, err.Error(), 0)
+		return
+	}
+	client := clientID(r)
+
+	s.mu.Lock()
+	if c, ok := s.camps[id]; ok {
+		st := c.st
+		s.mu.Unlock()
+		st.Deduped = true
+		s.ops.Counter("simd.deduped").Inc()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	s.mu.Unlock()
+
+	built, err := s.opts.Build(spec)
+	if err != nil {
+		reject(w, http.StatusBadRequest, ReasonBadSpec, err.Error(), 0)
+		return
+	}
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		reject(w, http.StatusBadRequest, ReasonBadSpec, err.Error(), 0)
+		return
+	}
+
+	c := &campaign{
+		id: id, canon: canon, built: built, submitted: time.Now(),
+		st: Status{ID: id, Client: client, State: StateQueued, Total: len(built.Trials)},
+	}
+	s.mu.Lock()
+	if prev, ok := s.camps[id]; ok {
+		// Two identical submissions raced past the first check; the earlier
+		// winner owns the campaign.
+		st := prev.st
+		s.mu.Unlock()
+		st.Deduped = true
+		s.ops.Counter("simd.deduped").Inc()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	s.camps[id] = c
+	// Snapshot the queued status while it is still ours alone: once pushed,
+	// a dispatcher may pop and mutate c.st concurrently, so the admission
+	// response must come from this copy.
+	st := c.st
+	s.mu.Unlock()
+
+	// Durable before dispatchable: once the spec and queued status are on
+	// disk, a crash cannot lose the admission, so persist before push and
+	// respond after both.
+	if err := s.store.admit(id, canon, &st); err != nil {
+		s.forget(id)
+		reject(w, http.StatusInternalServerError, "store_error", err.Error(), 0)
+		return
+	}
+	if err := s.queue.push(client, c); err != nil {
+		s.forget(id)
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.ops.Counter("simd.rejected.queue_full").Inc()
+			reject(w, http.StatusTooManyRequests, ReasonQueueFull,
+				fmt.Sprintf("queue holds %d campaigns", s.opts.MaxQueue), 250*time.Millisecond)
+		case errors.Is(err, errClientBacklog):
+			s.ops.Counter("simd.rejected.client_backlog").Inc()
+			reject(w, http.StatusTooManyRequests, ReasonClientBacklog,
+				fmt.Sprintf("client %q already has %d campaigns queued", client, s.opts.MaxPerClient), 250*time.Millisecond)
+		default:
+			s.ops.Counter("simd.rejected.draining").Inc()
+			reject(w, http.StatusServiceUnavailable, ReasonDraining, "daemon is draining", time.Second)
+		}
+		return
+	}
+	s.gaugeDepth()
+	s.ops.Counter("simd.admitted").Inc()
+	s.logf("admitted campaign %s (client %s, %d trials)", id, client, st.Total)
+	s.observe(id, StateQueued)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// forget removes a campaign that failed to finish admission; its partial
+// store directory, if any, must not shadow a future resubmission.
+func (s *Server) forget(id string) {
+	s.mu.Lock()
+	delete(s.camps, id)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	c, ok := s.camps[r.PathValue("id")]
+	var st Status
+	if ok {
+		st = c.st
+	}
+	s.mu.Unlock()
+	if !ok {
+		reject(w, http.StatusNotFound, ReasonNotFound, "no such campaign", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c, ok := s.camps[id]
+	var st Status
+	if ok {
+		st = c.st
+	}
+	s.mu.Unlock()
+	if !ok {
+		reject(w, http.StatusNotFound, ReasonNotFound, "no such campaign", 0)
+		return
+	}
+	if st.State != StateDone {
+		reject(w, http.StatusConflict, ReasonNotDone,
+			fmt.Sprintf("campaign is %s%s", st.State, errSuffix(st.Err)), time.Second)
+		return
+	}
+	blob, err := s.store.results(id)
+	if err != nil {
+		reject(w, http.StatusInternalServerError, "store_error", err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+}
+
+func errSuffix(e string) string {
+	if e == "" {
+		return ""
+	}
+	return ": " + e
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c, ok := s.camps[id]
+	if !ok {
+		s.mu.Unlock()
+		reject(w, http.StatusNotFound, ReasonNotFound, "no such campaign", 0)
+		return
+	}
+	switch c.st.State {
+	case StateQueued:
+		if s.queue.remove(id) {
+			c.st.State = StateCanceled
+			st := c.st
+			s.mu.Unlock()
+			s.gaugeDepth()
+			s.store.putStatus(id, &st)
+			s.ops.Counter("simd.campaigns." + StateCanceled).Inc()
+			s.logf("campaign %s canceled while queued", id)
+			s.observe(id, StateCanceled)
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		// A dispatcher popped it concurrently; fall through to the running
+		// path.
+		fallthrough
+	case StateRunning:
+		c.cancelReq = true
+		if c.cancel != nil {
+			c.cancel()
+		}
+		st := c.st
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	default:
+		st := c.st
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.draining.Load()})
+}
+
+// Stats snapshots the daemon's operational counters.
+func (s *Server) Stats() Stats {
+	states := map[string]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0,
+		StateFailed: 0, StateCanceled: 0, StateInterrupted: 0,
+	}
+	s.mu.Lock()
+	for _, c := range s.camps {
+		states[c.st.State]++ // commutative int fold: map order is immaterial
+	}
+	s.mu.Unlock()
+	st := Stats{
+		Draining:   s.draining.Load(),
+		QueueDepth: s.queue.size(),
+		Campaigns:  states,
+		Admitted:   s.ops.CounterValue("simd.admitted"),
+		Deduped:    s.ops.CounterValue("simd.deduped"),
+		Resumed:    s.ops.CounterValue("simd.resumed"),
+		Rejected: RejectStats{
+			QueueFull:     s.ops.CounterValue("simd.rejected.queue_full"),
+			ClientBacklog: s.ops.CounterValue("simd.rejected.client_backlog"),
+			Draining:      s.ops.CounterValue("simd.rejected.draining"),
+		},
+		Trials: TrialStats{
+			Executed: s.ops.CounterValue("simd.trials.executed"),
+			Cached:   s.ops.CounterValue("simd.trials.cached"),
+			Failed:   s.ops.CounterValue("simd.trials.failed"),
+		},
+	}
+	if n := st.Trials.Executed + st.Trials.Cached; n > 0 {
+		st.CacheHitRate = float64(st.Trials.Cached) / float64(n)
+	}
+	if st.SubmitToResultMS.Count = s.latency.Count(); st.SubmitToResultMS.Count > 0 {
+		st.SubmitToResultMS.P50 = s.latency.Quantile(0.5)
+		st.SubmitToResultMS.P90 = s.latency.Quantile(0.9)
+		st.SubmitToResultMS.P99 = s.latency.Quantile(0.99)
+		st.SubmitToResultMS.Max = s.latency.Quantile(1)
+	}
+	return st
+}
+
+// CampaignIDs returns the known campaign ids in sorted order (tests and
+// debugging).
+func (s *Server) CampaignIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.camps))
+	for id := range s.camps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (s *Server) gaugeDepth() {
+	s.ops.Gauge("simd.queue.depth").Set(float64(s.queue.size()))
+}
+
+func (s *Server) observe(id, state string) {
+	if s.opts.Observe != nil {
+		s.opts.Observe(id, state)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, "simd: "+format+"\n", args...)
+	}
+}

@@ -1,0 +1,143 @@
+package simd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// store is the daemon's on-disk state: one directory per campaign holding
+// the canonical spec, the latest status, and — once done — the
+// deterministic artifacts, next to the shared sweep cache/journal
+// directory. Layout:
+//
+//	<root>/cache/                    shared trial cache + campaign journals
+//	<root>/campaigns/<id>/spec.json   canonical spec (written once, at admit)
+//	<root>/campaigns/<id>/status.json latest persisted Status
+//	<root>/campaigns/<id>/results.json deterministic results (done only)
+//	<root>/campaigns/<id>/metrics.txt  deterministic merged metrics (done only)
+//
+// Every write is atomic (temp file + rename), so a SIGKILL at any instant
+// leaves each file either absent, previous, or current — never torn. The
+// recovery scan treats a campaign whose status is non-terminal (or whose
+// status.json is missing or torn) as unfinished and re-admits it; the sweep
+// journal then makes the resume free.
+type store struct {
+	root string
+}
+
+func openStore(root string) (*store, error) {
+	s := &store{root: root}
+	for _, d := range []string{s.cacheDir(), s.campaignsDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("simd: creating store: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func (s *store) cacheDir() string            { return filepath.Join(s.root, "cache") }
+func (s *store) campaignsDir() string        { return filepath.Join(s.root, "campaigns") }
+func (s *store) dir(id string) string        { return filepath.Join(s.campaignsDir(), id) }
+func (s *store) path(id, name string) string { return filepath.Join(s.dir(id), name) }
+
+// writeFileAtomic lands blob at path via a same-directory temp file and
+// rename.
+func writeFileAtomic(path string, blob []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(blob)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(name)
+		return fmt.Errorf("writing %s: %v/%v/%v", path, werr, serr, cerr)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// admit persists a newly admitted campaign: its spec (the canonical form its
+// ID hashes) and its queued status. Persist-then-respond ordering is what
+// makes admission durable: once a client holds a 202, a crash cannot lose
+// the campaign.
+func (s *store) admit(id string, canonSpec []byte, st *Status) error {
+	if err := os.MkdirAll(s.dir(id), 0o755); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(s.path(id, "spec.json"), canonSpec); err != nil {
+		return err
+	}
+	return s.putStatus(id, st)
+}
+
+// putStatus persists the campaign's current status.
+func (s *store) putStatus(id string, st *Status) error {
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(s.path(id, "status.json"), append(blob, '\n'))
+}
+
+// putArtifacts persists the deterministic campaign artifacts. results.json
+// is written before status flips to done, so a "done" status always has
+// results behind it; a crash between the two re-runs the campaign from the
+// journal and rewrites byte-identical artifacts.
+func (s *store) putArtifacts(id string, results, metrics []byte) error {
+	if err := writeFileAtomic(s.path(id, "results.json"), results); err != nil {
+		return err
+	}
+	return writeFileAtomic(s.path(id, "metrics.txt"), metrics)
+}
+
+// results loads the deterministic results artifact.
+func (s *store) results(id string) ([]byte, error) {
+	return os.ReadFile(s.path(id, "results.json"))
+}
+
+// storedCampaign is one recovered campaign from a store scan.
+type storedCampaign struct {
+	id     string
+	spec   []byte // canonical spec.json
+	status Status // zero-valued (State "") when status.json is missing/torn
+}
+
+// scan enumerates the persisted campaigns in lexical id order (ReadDir
+// sorts), tolerating torn or missing status files. A campaign directory
+// without a parseable spec is quarantined by rename — it cannot be resumed
+// and must not shadow a future resubmission of the same id.
+func (s *store) scan() ([]storedCampaign, error) {
+	ents, err := os.ReadDir(s.campaignsDir())
+	if err != nil {
+		return nil, err
+	}
+	var out []storedCampaign
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		spec, err := os.ReadFile(s.path(id, "spec.json"))
+		if err != nil {
+			os.Rename(s.dir(id), s.dir(id)+".corrupt")
+			continue
+		}
+		sc := storedCampaign{id: id, spec: spec}
+		if blob, err := os.ReadFile(s.path(id, "status.json")); err == nil {
+			var st Status
+			if json.Unmarshal(blob, &st) == nil {
+				sc.status = st
+			}
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}

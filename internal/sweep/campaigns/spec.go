@@ -135,9 +135,23 @@ func LoadSpec(path string) (*Spec, error) {
 	if err != nil {
 		return nil, err
 	}
+	s, err := ParseSpec(blob)
+	if err != nil {
+		return nil, fmt.Errorf("campaigns: parsing %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ParseSpec decodes a declarative campaign spec from raw JSON — the same
+// decoding LoadSpec applies to a file, exposed for callers that receive
+// specs over the wire (cmd/simd). The defaulted name keeps a nameless spec
+// valid in both paths, and therefore keeps the content-hash identity of a
+// submitted spec equal to the identity the CLI would compute for the same
+// file.
+func ParseSpec(blob []byte) (*Spec, error) {
 	var s Spec
 	if err := json.Unmarshal(blob, &s); err != nil {
-		return nil, fmt.Errorf("campaigns: parsing %s: %w", path, err)
+		return nil, err
 	}
 	if s.Name == "" {
 		s.Name = "sweep"

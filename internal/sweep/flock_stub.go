@@ -1,0 +1,11 @@
+//go:build !unix
+
+package sweep
+
+import "os"
+
+// lockJournalFile is a no-op where flock is unavailable: the journal keeps
+// its crash-safety guarantees (whole-line O_APPEND writes), but concurrent
+// same-campaign writers are not excluded. All supported CI and development
+// platforms are unix.
+func lockJournalFile(f *os.File) error { return nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package sweep
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockJournalFile takes an exclusive advisory flock on the open journal
+// descriptor without blocking. Two campaigns (a daemon and a CLI, or two
+// CLIs pointed at the same cache dir) that resolve to the same journal would
+// otherwise interleave whole-line appends — individually atomic, but the two
+// writers would each believe they own the campaign's completion record. The
+// lock turns that race into the typed ErrJournalBusy at open time.
+//
+// flock locks belong to the open file description, so the lock is released
+// automatically when the descriptor closes — including when the process is
+// SIGKILLed, which is exactly the crash case the journal exists for.
+func lockJournalFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return ErrJournalBusy
+	}
+	return err
+}

@@ -5,11 +5,22 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 )
+
+// ErrJournalBusy reports that another live process (or another campaign run
+// in this process) holds the advisory lock on this campaign's journal.
+// Concurrent writers to one journal would not corrupt individual lines —
+// appends are single whole-line writes — but each writer would trust a
+// completion record the other is still extending, so the second acquirer is
+// refused up front with this typed error instead of silently sharing the
+// file. Callers that race a daemon and a CLI over one cache dir should back
+// off and retry, or point the second run at its own cache dir.
+var ErrJournalBusy = errors.New("sweep: campaign journal is locked by another running campaign")
 
 // journal is the crash-safe campaign log: one JSON line per finished trial,
 // appended as each trial completes, so a killed or interrupted campaign
@@ -55,10 +66,27 @@ func campaignID(version, name string, seed int64) string {
 
 // openJournal loads (or creates) the campaign's journal under dir and opens
 // it for appending. Unparseable lines — a truncated tail from a kill — are
-// skipped; later entries for the same hash win.
+// skipped; later entries for the same hash win. The append descriptor holds
+// an exclusive advisory lock for the life of the campaign run, so a second
+// concurrent run of the same campaign identity against the same cache dir
+// fails fast with ErrJournalBusy instead of interleaving completion records.
 func openJournal(dir, version, name string, seed int64) (*journal, error) {
 	path := filepath.Join(dir, fmt.Sprintf("%s-%s.journal", slugName(name), campaignID(version, name, seed)))
 	j := &journal{path: path, entries: make(map[string]TrialResult)}
+	// Lock before reading: entries appended by a concurrent owner between a
+	// read and a failed lock would otherwise be half-observed.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening campaign journal: %w", err)
+	}
+	if err := lockJournalFile(f); err != nil {
+		f.Close()
+		if errors.Is(err, ErrJournalBusy) {
+			return nil, fmt.Errorf("sweep: campaign %q journal %s: %w", name, path, ErrJournalBusy)
+		}
+		return nil, fmt.Errorf("sweep: locking campaign journal: %w", err)
+	}
+	j.f = f
 	if blob, err := os.Open(path); err == nil {
 		sc := bufio.NewScanner(blob)
 		sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
@@ -71,11 +99,6 @@ func openJournal(dir, version, name string, seed int64) (*journal, error) {
 		}
 		blob.Close()
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: opening campaign journal: %w", err)
-	}
-	j.f = f
 	return j, nil
 }
 

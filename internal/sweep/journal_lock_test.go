@@ -1,0 +1,86 @@
+package sweep_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mkos/internal/sweep"
+)
+
+// TestJournalAdvisoryLock pins the two-writers story for one campaign
+// identity sharing one cache dir: while a run holds the campaign journal, a
+// second run of the same campaign fails fast with the typed ErrJournalBusy
+// (no silent interleaving), and once the first run finishes, the same
+// invocation succeeds and restores every trial without re-executing it.
+func TestJournalAdvisoryLock(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	build := func(block bool) *sweep.Campaign {
+		c := &sweep.Campaign{Name: "locked", Seed: 3}
+		for i := 0; i < 3; i++ {
+			i := i
+			c.Trials = append(c.Trials, sweep.Trial{
+				Key:  fmt.Sprintf("lk/n%02d", i),
+				Spec: synthSpec{ID: i, Scale: 1},
+				Run: func(tt *sweep.T) (any, error) {
+					if block && i == 0 {
+						close(entered)
+						<-gate
+					}
+					return map[string]int64{"seed": tt.Seed}, nil
+				},
+			})
+		}
+		return c
+	}
+
+	opts := sweep.Options{Workers: 1, CacheDir: dir, Version: "lock-v1"}
+	type res struct {
+		o   *sweep.Outcome
+		err error
+	}
+	first := make(chan res, 1)
+	go func() {
+		o, err := sweep.Run(build(true), opts)
+		first <- res{o, err}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first campaign never started its blocking trial")
+	}
+	if _, err := sweep.Run(build(false), opts); !errors.Is(err, sweep.ErrJournalBusy) {
+		t.Fatalf("concurrent same-campaign run returned %v, want ErrJournalBusy", err)
+	}
+
+	close(gate)
+	r := <-first
+	if r.err != nil {
+		t.Fatalf("first campaign failed after lock contention: %v", r.err)
+	}
+	if r.o.Executed != 3 {
+		t.Fatalf("first campaign executed %d trials, want 3", r.o.Executed)
+	}
+
+	// The lock is released with the run: the same invocation now succeeds and
+	// serves everything from the cache/journal.
+	o, err := sweep.Run(build(false), opts)
+	if err != nil {
+		t.Fatalf("re-run after lock release: %v", err)
+	}
+	if o.Executed != 0 || o.Cached != 3 {
+		t.Fatalf("re-run executed %d / cached %d, want 0/3", o.Executed, o.Cached)
+	}
+
+	// A different campaign identity (other seed) has its own journal and is
+	// never excluded by this one's lock.
+	other := build(false)
+	other.Seed = 4
+	if _, err := sweep.Run(other, opts); err != nil {
+		t.Fatalf("different campaign identity hit the lock: %v", err)
+	}
+}

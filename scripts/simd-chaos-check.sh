@@ -1,0 +1,103 @@
+#!/bin/sh
+# simd-chaos-check.sh — CI gate for the campaign daemon's crash-tolerance
+# contract: SIGKILL the daemon mid-campaign, restart it on the same store,
+# and assert that (a) the campaign is resumed with zero re-executed trials,
+# (b) its artifacts are byte-identical to a never-crashed cmd/sweep run of
+# the same spec, and (c) a SIGTERM afterwards drains cleanly (exit 0).
+#
+# Usage: scripts/simd-chaos-check.sh [SPEC] [WORKDIR] [PORT]
+set -eu
+
+SPEC=${1:-specs/ci-sweep.json}
+WORK=${2:-/tmp/mkos-simd-chaos}
+PORT=${3:-18311}
+ADDR=http://127.0.0.1:$PORT
+GO=${GO:-go}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+$GO build -o "$WORK/simd" ./cmd/simd
+$GO build -o "$WORK/simctl" ./cmd/simctl
+$GO build -o "$WORK/sweep" ./cmd/sweep
+
+executed() { sed -n 's/.*: \([0-9][0-9]*\) executed,.*/\1/p' "$1" | tail -n 1; }
+field() { sed -n "s/.*$2=\\([a-z0-9]*\\).*/\\1/p" "$1" | tail -n 1; }
+
+# Reference: the same campaign through the CLI, never interrupted, serial.
+"$WORK/sweep" -spec "$SPEC" -j 1 -outdir "$WORK/clean" | tee "$WORK/clean.txt"
+TOTAL=$(executed "$WORK/clean.txt")
+
+# Incarnation 1: serial daemon (-j 1) so the campaign is provably still in
+# flight when the SIGKILL lands.
+"$WORK/simd" -store "$WORK/store" -addr "127.0.0.1:$PORT" -j 1 \
+  > "$WORK/simd1.log" 2>&1 &
+PID=$!
+"$WORK/simctl" -addr "$ADDR" -timeout 10s wait-up
+"$WORK/simctl" -addr "$ADDR" submit "$SPEC" | tee "$WORK/submit.txt"
+ID=$(field "$WORK/submit.txt" id)
+
+# Wait until some trials have landed in the campaign journal, then kill -9.
+# Journal appends are whole synced lines, so the line count is exactly the
+# number of trials incarnation 1 completed.
+JOURNAL=
+for i in $(seq 1 100); do
+  JOURNAL=$(ls "$WORK"/store/cache/*.journal 2>/dev/null | head -n 1) || true
+  if [ -n "$JOURNAL" ] && [ "$(wc -l < "$JOURNAL")" -ge 5 ]; then break; fi
+  sleep 0.2
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+FIRST=$(wc -l < "$JOURNAL")
+if [ "$FIRST" -lt 1 ] || [ "$FIRST" -ge "$TOTAL" ]; then
+  echo "FAIL: $FIRST of $TOTAL trials journaled at kill time — SIGKILL missed the campaign window" >&2
+  exit 1
+fi
+echo "killed daemon (pid $PID) with $FIRST of $TOTAL trials journaled"
+
+# Incarnation 2 on the same store must resume the campaign and finish only
+# the balance.
+"$WORK/simd" -store "$WORK/store" -addr "127.0.0.1:$PORT" -j 1 \
+  > "$WORK/simd2.log" 2>&1 &
+PID=$!
+"$WORK/simctl" -addr "$ADDR" -timeout 10s wait-up
+grep -q "resumed campaign $ID" "$WORK/simd2.log" || {
+  echo "FAIL: successor daemon did not resume campaign $ID" >&2
+  exit 1
+}
+"$WORK/simctl" -addr "$ADDR" -timeout 120s await "$ID" | tee "$WORK/await.txt"
+SECOND=$(field "$WORK/await.txt" executed)
+RESTORED=$(field "$WORK/await.txt" cached)
+
+# Zero re-execution: every trial ran exactly once across both incarnations,
+# and the resumed run restored exactly the journaled prefix.
+if [ "$((FIRST + SECOND))" -ne "$TOTAL" ]; then
+  echo "FAIL: $FIRST journaled + $SECOND re-run trials, want $TOTAL (re-execution or loss)" >&2
+  exit 1
+fi
+if [ "$RESTORED" -ne "$FIRST" ]; then
+  echo "FAIL: resumed campaign restored $RESTORED trials, want the $FIRST journaled ones" >&2
+  exit 1
+fi
+
+# Byte-identity: the daemon's artifacts for the crashed-and-resumed campaign
+# match the never-crashed CLI run exactly.
+"$WORK/simctl" -addr "$ADDR" results "$ID" > "$WORK/resumed-results.json"
+cmp "$WORK/resumed-results.json" "$WORK/clean/results.json"
+cmp "$WORK/store/campaigns/$ID/results.json" "$WORK/clean/results.json"
+cmp "$WORK/store/campaigns/$ID/metrics.txt" "$WORK/clean/metrics.txt"
+
+# Graceful half of the contract: SIGTERM drains and exits 0.
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: draining daemon exited $STATUS, want 0" >&2
+  exit 1
+fi
+grep -q "drained:" "$WORK/simd2.log" || {
+  echo "FAIL: daemon log is missing the drain line" >&2
+  exit 1
+}
+
+echo "simd chaos OK: $FIRST trials before SIGKILL + $SECOND after restart = $TOTAL, zero re-executed, artifacts byte-identical, SIGTERM drained cleanly"
