@@ -2,7 +2,7 @@ GO ?= go
 J ?= 0
 SWEEP_SPEC ?= specs/ci-sweep.json
 
-.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep simd-race simd-chaos simd-load
+.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep simd-race simd-chaos simd-load simd-obs
 
 all: check
 
@@ -93,6 +93,13 @@ simd-chaos:
 simd-load:
 	sh scripts/simd-load-smoke.sh specs/simd-smoke.json /tmp/mkos-simd-load
 
+# simd-obs is the observability smoke: one campaign through simctl run must
+# yield structured JSON logs with request/campaign ids, a valid Prometheus
+# exposition whose counters match the campaign, a complete SSE replay via
+# simctl tail, and a causally-parented ops trace at /v1/trace.
+simd-obs:
+	sh scripts/simd-obs-check.sh $(SWEEP_SPEC) /tmp/mkos-simd-obs
+
 # determinism runs the fault-injection sweep twice with telemetry artifacts
 # enabled and fails on any byte difference — the metrics dump and trace JSON
 # must be identical for identical seeds.
@@ -108,4 +115,4 @@ determinism:
 # check is what CI runs: formatting, vet, the simlint invariant gate,
 # build, the full suite under the race detector, the determinism gates,
 # and the daemon chaos/load gates.
-check: fmt vet lint build race determinism sweep-determinism sweep-interrupt simd-chaos simd-load
+check: fmt vet lint build race determinism sweep-determinism sweep-interrupt simd-chaos simd-load simd-obs

@@ -28,6 +28,7 @@ import (
 	"mkos/internal/sweep"
 	"mkos/internal/sweep/campaigns"
 	"mkos/internal/telemetry"
+	"mkos/internal/telemetry/ops"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump to this file")
 	profilePath := flag.String("profile", "", "write the engine profiler report (host wall times, non-deterministic)")
+	opsTrace := flag.String("ops-trace", "", "write the wall-clock ops flight recorder (Chrome trace JSON) to this file")
 	flag.Parse()
 	if *tracePath != "" {
 		telemetry.EnableTrace()
@@ -65,11 +67,15 @@ func main() {
 	// hook — and a second force-exits. Finished points are journaled, so a
 	// re-run with the same -cache-dir resumes.
 	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
+	ctx, flushOps := ops.TraceFile(ctx, *opsTrace)
 	o, err := sweep.RunContext(ctx, campaigns.FaultSweep("faultexp", specs, *seed), sweep.Options{
 		Workers: *workers, CacheDir: *cacheDir,
 		Trace: *tracePath != "", Progress: os.Stderr,
 	})
 	stopSignals()
+	if ferr := flushOps(); ferr != nil {
+		log.Print(ferr)
+	}
 	if errors.Is(err, sweep.ErrInterrupted) {
 		log.Printf("interrupted: %d trials unfinished; re-run with the same -cache-dir to resume", o.Canceled)
 		os.Exit(130)

@@ -29,6 +29,7 @@ import (
 	"mkos/internal/sweep"
 	"mkos/internal/sweep/campaigns"
 	"mkos/internal/telemetry"
+	"mkos/internal/telemetry/ops"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "reuse cached trial results from this directory")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write the deterministic telemetry metrics dump to this file")
+	opsTrace := flag.String("ops-trace", "", "write the wall-clock ops flight recorder (Chrome trace JSON) to this file")
 	flag.Parse()
 	showMetrics = *fom
 	if *tracePath != "" {
@@ -105,11 +107,15 @@ func main() {
 	// First SIGINT/SIGTERM cancels the campaign (finished trials are already
 	// journaled, so a re-run resumes); a second force-exits.
 	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
+	ctx, flushOps := ops.TraceFile(ctx, *opsTrace)
 	o, err := sweep.RunContext(ctx, c, sweep.Options{
 		Workers: *workers, CacheDir: *cacheDir,
 		Trace: *tracePath != "", Progress: os.Stderr,
 	})
 	stopSignals()
+	if ferr := flushOps(); ferr != nil {
+		log.Print(ferr)
+	}
 	if errors.Is(err, sweep.ErrInterrupted) {
 		log.Printf("interrupted: %d trials unfinished; re-run with the same -cache-dir to resume", o.Canceled)
 		os.Exit(130)

@@ -24,6 +24,7 @@ import (
 	"mkos/internal/noise"
 	"mkos/internal/sweep"
 	"mkos/internal/sweep/campaigns"
+	"mkos/internal/telemetry/ops"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	iterations := flag.Int("iterations", 1, "repeat the CDF measurement N times and merge (paper: 10 x ~6 min = 1 hour)")
 	workers := flag.Int("j", 0, "parallel trial workers for -cdf (0 = all cores)")
 	cacheDir := flag.String("cache-dir", "", "reuse cached trial results from this directory")
+	opsTrace := flag.String("ops-trace", "", "write the wall-clock ops flight recorder (Chrome trace JSON) to this file for -cdf")
 	flag.Parse()
 
 	switch {
@@ -53,7 +55,7 @@ func main() {
 		runCDF(core.Figure4Config{
 			OFPNodes: *ofpNodes, FugakuFullNodes: *fugakuFull, Fugaku24Racks: *fugakuRacks,
 			Duration: time.Duration(*minutes * float64(time.Minute)), WorstNodes: 100, Seed: *seed,
-		}, *points, *iterations, *workers, *cacheDir)
+		}, *points, *iterations, *workers, *cacheDir, *opsTrace)
 	default:
 		log.Fatal("choose -series or -cdf")
 	}
@@ -117,17 +119,21 @@ func runSeries(cm string, dur time.Duration, seed int64) {
 // orchestrator and merges per curve — the paper ran "ten iterations of
 // measurements that last for approximately 6 minutes, capturing a noise
 // profile that covers one hour altogether".
-func runCDF(cfg core.Figure4Config, points, iterations, workers int, cacheDir string) {
+func runCDF(cfg core.Figure4Config, points, iterations, workers int, cacheDir, opsTrace string) {
 	if iterations < 1 {
 		iterations = 1
 	}
 	// First SIGINT/SIGTERM cancels the campaign (finished trials are already
 	// journaled, so a re-run resumes); a second force-exits.
 	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
+	ctx, flushOps := ops.TraceFile(ctx, opsTrace)
 	o, err := sweep.RunContext(ctx, campaigns.Figure4(cfg, iterations, cfg.Seed), sweep.Options{
 		Workers: workers, CacheDir: cacheDir, Progress: os.Stderr,
 	})
 	stopSignals()
+	if ferr := flushOps(); ferr != nil {
+		log.Print(ferr)
+	}
 	if errors.Is(err, sweep.ErrInterrupted) {
 		log.Printf("interrupted: %d trials unfinished; re-run with the same -cache-dir to resume", o.Canceled)
 		os.Exit(130)

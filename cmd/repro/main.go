@@ -31,6 +31,7 @@ import (
 	"mkos/internal/sweep"
 	"mkos/internal/sweep/campaigns"
 	"mkos/internal/telemetry"
+	"mkos/internal/telemetry/ops"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump to this file")
 	profilePath := flag.String("profile", "", "write the engine profiler report (host wall times, non-deterministic)")
+	opsTrace := flag.String("ops-trace", "", "write the wall-clock ops flight recorder (Chrome trace JSON) to this file")
 	flag.Parse()
 
 	if *tracePath != "" {
@@ -57,6 +59,7 @@ func main() {
 	// are already journaled, so a re-run resumes); a second force-exits.
 	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
 	defer stopSignals()
+	ctx, flushOps := ops.TraceFile(ctx, *opsTrace)
 
 	// runCampaign shards one stage's trials over the worker pool and folds
 	// the merged telemetry into the process-wide sink, so the -metrics and
@@ -68,6 +71,9 @@ func main() {
 		})
 		if errors.Is(err, sweep.ErrInterrupted) {
 			log.Printf("interrupted during campaign %s: %d trials unfinished; re-run with the same -cache-dir to resume", o.Name, o.Canceled)
+			if ferr := flushOps(); ferr != nil {
+				log.Print(ferr)
+			}
 			os.Exit(130)
 		}
 		if err != nil {
@@ -224,6 +230,9 @@ func main() {
 		}
 		fmt.Printf("fig %s  %-8s %-15s paper %-6s measured %.3f (at %d nodes)\n",
 			spec.Figure, spec.App, spec.Platform, paper[k], c.Relative, c.Nodes)
+	}
+	if err := flushOps(); err != nil {
+		log.Print(err)
 	}
 	fmt.Printf("\ndone in %v; data in %s/\n", time.Since(start).Round(time.Second), *outdir)
 }

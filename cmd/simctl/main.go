@@ -19,6 +19,11 @@
 //	  results ID         print results.json of a done campaign
 //	  cancel ID          cancel a queued or running campaign
 //	  stats              daemon operational counters
+//	  list               every known campaign, one line each
+//	  tail ID            stream a campaign's live SSE events until terminal
+//	  top                periodic daemon overview (see -interval, -n)
+//	  metrics            Prometheus text exposition from /v1/metrics
+//	  trace              ops flight-recorder Chrome trace JSON from /v1/trace
 //	  wait-up            block until the daemon answers /v1/healthz
 //	  flood -n N SPEC    N concurrent submits (see -distinct, -slow)
 package main
@@ -27,11 +32,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"mkos/internal/fault/chaos"
@@ -119,6 +126,30 @@ func main() {
 			log.Fatal(err)
 		}
 		printStats(st, blob, *asJSON)
+	case "list":
+		sts, err := c.List(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, st := range sts {
+			printStatus(st, *asJSON)
+		}
+	case "tail":
+		tail(ctx, c, oneArg(args, "campaign id"), *asJSON)
+	case "top":
+		top(ctx, c, args)
+	case "metrics":
+		blob, err := c.Metrics(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(blob)
+	case "trace":
+		blob, err := c.Trace(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(blob)
 	case "wait-up":
 		wctx := ctx
 		if *timeout <= 0 {
@@ -133,7 +164,101 @@ func main() {
 	case "flood":
 		flood(ctx, *addr, args)
 	default:
-		log.Fatalf("unknown command %q (want id|submit|await|run|status|results|cancel|stats|wait-up|flood)", cmd)
+		log.Fatalf("unknown command %q (want id|submit|await|run|status|results|cancel|stats|list|tail|top|metrics|trace|wait-up|flood)", cmd)
+	}
+}
+
+// tail streams one campaign's SSE events to stdout, one line per event,
+// exiting 0 on a terminal "done" state, 1 on any other terminal state, and
+// fatally if the stream drops before the campaign settles (daemon drain) —
+// the journal still holds the progress; re-tail after the daemon returns.
+func tail(ctx context.Context, c *simd.Client, id string, asJSON bool) {
+	final := ""
+	err := c.Tail(ctx, id, func(ev simd.Event) error {
+		if asJSON {
+			blob, _ := json.Marshal(ev)
+			os.Stdout.Write(append(blob, '\n'))
+		} else {
+			printEvent(ev)
+		}
+		if ev.Type == "state" {
+			final = ev.State
+		}
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, simd.ErrStreamClosed) {
+			log.Fatal("stream closed before the campaign settled (daemon draining?); re-tail once it is back")
+		}
+		log.Fatal(err)
+	}
+	if final != simd.StateDone {
+		os.Exit(1)
+	}
+}
+
+func printEvent(ev simd.Event) {
+	switch ev.Type {
+	case "trial":
+		fmt.Printf("seq=%d event=trial key=%s done=%d/%d cached=%v wall_ms=%.1f",
+			ev.Seq, ev.Key, ev.Done, ev.Total, ev.Cached, ev.WallMS)
+		if ev.ETAMS > 0 {
+			fmt.Printf(" eta_ms=%d", ev.ETAMS)
+		}
+		if ev.TrialErr != "" {
+			fmt.Printf(" err=%q", ev.TrialErr)
+		}
+		fmt.Println()
+	default:
+		fmt.Printf("seq=%d event=%s state=%s", ev.Seq, ev.Type, ev.State)
+		if ev.Err != "" {
+			fmt.Printf(" err=%q", ev.Err)
+		}
+		fmt.Println()
+	}
+}
+
+// top prints a periodic daemon overview — stats header plus one line per
+// non-terminal campaign — until -n refreshes elapse or the context ends.
+func top(ctx context.Context, c *simd.Client, args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", time.Second, "refresh period")
+	iters := fs.Int("n", 0, "refresh count (0 = until interrupted)")
+	all := fs.Bool("all", false, "also list terminal campaigns")
+	fs.Parse(args)
+	for i := 0; *iters <= 0 || i < *iters; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(*interval):
+			case <-ctx.Done():
+				return
+			}
+		}
+		st, _, err := c.Stats(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sts, err := c.List(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- %s draining=%v queue_depth=%d campaigns=%d executed=%d cached=%d failed=%d hit_rate=%.3f\n",
+			time.Now().UTC().Format(time.TimeOnly), st.Draining, st.QueueDepth, len(sts),
+			st.Trials.Executed, st.Trials.Cached, st.Trials.Failed, st.CacheHitRate)
+		// Active first, then (with -all) terminal, each group sorted by id.
+		sort.Slice(sts, func(a, b int) bool {
+			ta, tb := sts[a].Terminal(), sts[b].Terminal()
+			if ta != tb {
+				return !ta
+			}
+			return sts[a].ID < sts[b].ID
+		})
+		for _, cs := range sts {
+			if cs.Terminal() && !*all {
+				continue
+			}
+			printStatus(cs, false)
+		}
 	}
 }
 

@@ -12,16 +12,25 @@
 // for -drain-grace, then cancels them cooperatively and flushes their
 // partial state; a second signal force-exits.
 //
+// Observability: the daemon logs structured JSON lines (level gated by
+// -log-level), serves Prometheus text at /v1/metrics, a Chrome ops trace at
+// /v1/trace and per-campaign SSE at /v1/campaigns/{id}/events; -debug-addr
+// additionally exposes net/http/pprof on a separate listener so profiling
+// never rides the campaign port.
+//
 // Usage:
 //
 //	simd -store /var/lib/simd [-addr :8080] [-j 4] [-concurrency 1]
 //	     [-max-queue 64] [-max-per-client 8] [-trial-timeout 0]
+//	     [-log-level info] [-debug-addr 127.0.0.1:6060]
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"mkos/internal/simd"
@@ -39,6 +48,8 @@ func main() {
 	maxPerClient := flag.Int("max-per-client", 8, "queued-campaign bound per client")
 	trialTimeout := flag.Duration("trial-timeout", 0, "fail any single trial exceeding this wall time (0 = no limit)")
 	drainGrace := flag.Duration("drain-grace", 0, "how long running campaigns may finish naturally on drain (0 = default 2s)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra address (off when empty)")
 	flag.Parse()
 	if *store == "" {
 		log.Fatal("provide -store DIR (the daemon's durable state)")
@@ -53,9 +64,27 @@ func main() {
 		TrialTimeout: *trialTimeout,
 		DrainGrace:   *drainGrace,
 		Log:          os.Stderr,
+		LogLevel:     *logLevel,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		// pprof gets its own mux on its own listener: the campaign port
+		// never exposes profiling, and a wedged profile dump cannot tie up
+		// campaign connections.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	// First SIGINT/SIGTERM cancels the context → ListenAndServe drains;

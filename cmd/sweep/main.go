@@ -29,6 +29,7 @@ import (
 	"mkos/internal/sweep"
 	"mkos/internal/sweep/campaigns"
 	"mkos/internal/telemetry"
+	"mkos/internal/telemetry/ops"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 	trace := flag.Bool("trace", false, "also write trace.json (merged per-trial sim-time trace)")
 	trialTimeout := flag.Duration("trial-timeout", 0, "fail any single trial exceeding this wall time (0 = no limit)")
 	retryFailed := flag.Bool("retry-failed", false, "re-run trials the campaign journal recorded as failed")
+	opsTrace := flag.String("ops-trace", "", "write the wall-clock ops flight recorder (Chrome trace JSON) to this file")
 	flag.Parse()
 	if *specPath == "" {
 		log.Fatal("provide -spec FILE (see specs/ci-sweep.json)")
@@ -57,12 +59,18 @@ func main() {
 	// First SIGINT/SIGTERM cancels the campaign and flushes partial
 	// artifacts; a second force-exits.
 	ctx, stop := sweep.SignalContext(context.Background(), os.Stderr)
+	ctx, flushOps := ops.TraceFile(ctx, *opsTrace)
 	o, err := sweep.RunContext(ctx, c, sweep.Options{
 		Workers: *workers, CacheDir: *cacheDir,
 		Trace: *trace, Progress: os.Stderr,
 		TrialTimeout: *trialTimeout, RetryFailed: *retryFailed,
 	})
 	stop()
+	// The ops trace is wall-clock observability, flushed even for runs that
+	// end interrupted or failed — those are the ones worth inspecting.
+	if ferr := flushOps(); ferr != nil {
+		log.Print(ferr)
+	}
 	interrupted := errors.Is(err, sweep.ErrInterrupted)
 	if err != nil && !interrupted {
 		log.Fatal(err)

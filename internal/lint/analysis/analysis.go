@@ -5,7 +5,7 @@
 //
 // Why not the real thing: this repository builds with zero external
 // module dependencies (the determinism CI runs fully offline), and
-// x/tools is not vendored. Everything the five simlint analyzers need —
+// x/tools is not vendored. Everything the simlint analyzers need —
 // parsed files, full go/types information, position reporting — is
 // available from the standard library: go/parser for syntax,
 // go/importer's source importer for type-checking module-local imports

@@ -1,4 +1,4 @@
-// Package checks holds the five simlint analyzers. Each one encodes a
+// Package checks holds the six simlint analyzers. Each one encodes a
 // determinism or safety invariant of the simulator that the end-to-end
 // double-run cmp gates can only witness after the fact; the analyzers
 // catch the violation at the offending line instead. See
@@ -16,7 +16,7 @@ import (
 
 // All returns the full analyzer suite in reporting order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Sinkdiscipline, Simtime}
+	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Sinkdiscipline, Simtime, Opsbound}
 }
 
 // opsPrefixes lists the package-path prefixes where wall-clock time and
@@ -29,8 +29,9 @@ func All() []*analysis.Analyzer {
 var opsPrefixes = []string{
 	"mkos/internal/sweep",
 	"mkos/internal/lint",
-	"mkos/internal/simd",        // service plumbing: queues, latency histograms, drains
-	"mkos/internal/fault/chaos", // chaos injectors exist to perturb real time
+	"mkos/internal/simd",          // service plumbing: queues, latency histograms, drains
+	"mkos/internal/fault/chaos",   // chaos injectors exist to perturb real time
+	"mkos/internal/telemetry/ops", // the wall-clock flight recorder itself
 	"mkos/cmd",
 	"mkos/examples",
 }

@@ -43,6 +43,23 @@ func TestSimtime(t *testing.T) {
 	linttest.Run(t, checks.Simtime, "testdata/simtime", "mkos/internal/fake/simtime")
 }
 
+func TestOpsbound(t *testing.T) {
+	linttest.Run(t, checks.Opsbound, "testdata/opsbound", "mkos/internal/fake/opsbound")
+}
+
+// TestOpsboundOpsAllowlist loads the same import under a cmd/ path, where
+// the flight recorder is legal: zero findings expected.
+func TestOpsboundOpsAllowlist(t *testing.T) {
+	linttest.Run(t, checks.Opsbound, "testdata/opsbound_ops", "mkos/cmd/fake")
+}
+
+// TestOpsboundCampaignsException checks the sweep carve-out: the
+// internal/sweep prefix is ops-allowed, but internal/sweep/campaigns
+// holds the deterministic trial units and stays bound.
+func TestOpsboundCampaignsException(t *testing.T) {
+	linttest.Run(t, checks.Opsbound, "testdata/opsbound_campaigns", "mkos/internal/sweep/campaigns")
+}
+
 // TestSuppressionHandling exercises the directive grammar and scoping
 // against a real analyzer: missing reason fails, unknown check name
 // fails, an own-line directive covers only the next statement, and a

@@ -1,0 +1,11 @@
+package opsbound
+
+import (
+	"context"
+
+	opstrace "mkos/internal/telemetry/ops" //simlint:allow opsbound — corpus example: migration shim audited to touch spans only behind a nil tracer
+)
+
+func allowed(ctx context.Context) {
+	opstrace.Instant(ctx, "noop-without-tracer")
+}

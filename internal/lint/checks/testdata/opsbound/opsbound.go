@@ -1,0 +1,17 @@
+// Package opsbound is the opsbound analyzer corpus: a trial-unit
+// (deterministic) package importing the wall-clock flight recorder it
+// must not see.
+package opsbound
+
+import (
+	"context"
+
+	"mkos/internal/telemetry/ops"           // want "import of mkos/internal/telemetry/ops in deterministic package"
+	oplog "mkos/internal/telemetry/ops/log" // want "import of mkos/internal/telemetry/ops/log in deterministic package"
+)
+
+func bad(ctx context.Context) {
+	_, s := ops.Start(ctx, "trial-unit-span")
+	s.End()
+	_ = oplog.ParseLevel
+}

@@ -1,0 +1,15 @@
+// Package campaigns is the opsbound sweep-exception corpus: loaded under
+// the internal/sweep/campaigns path, which is inside the ops-allowed
+// internal/sweep prefix but holds the deterministic trial units — the
+// one subtree of an ops package the analyzer still binds.
+package campaigns
+
+import (
+	"context"
+
+	"mkos/internal/telemetry/ops" // want "import of mkos/internal/telemetry/ops in deterministic package"
+)
+
+func bad(ctx context.Context) {
+	ops.Instant(ctx, "trial-unit-instant")
+}

@@ -1,0 +1,15 @@
+// Package opsboundops is the opsbound allowlist corpus: the same import
+// loaded under a cmd/ path, where the flight recorder is legal. Zero
+// findings expected.
+package opsboundops
+
+import (
+	"context"
+
+	"mkos/internal/telemetry/ops"
+)
+
+func fine(ctx context.Context) {
+	_, s := ops.Start(ctx, "cli-span")
+	s.End()
+}

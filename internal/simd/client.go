@@ -1,6 +1,7 @@
 package simd
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -8,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -236,6 +238,87 @@ func (c *Client) Stats(ctx context.Context) (Stats, []byte, error) {
 	var st Stats
 	blob, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
 	return st, blob, err
+}
+
+// List fetches every known campaign's status, sorted by id.
+func (c *Client) List(ctx context.Context) ([]Status, error) {
+	var sts []Status
+	_, err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, &sts)
+	return sts, err
+}
+
+// Metrics fetches the daemon's Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/metrics", nil, nil)
+}
+
+// Trace fetches the daemon's ops flight recorder as Chrome trace_event
+// JSON.
+func (c *Client) Trace(ctx context.Context) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/trace", nil, nil)
+}
+
+// ErrStreamClosed is returned by Tail when the event stream ends before the
+// campaign reaches a terminal state — the daemon drained, or the connection
+// dropped. The campaign itself is typically still resumable; re-Tail after
+// the daemon returns.
+var ErrStreamClosed = errors.New("simd: event stream closed before a terminal state")
+
+// Tail subscribes to a campaign's SSE progress stream and calls fn for
+// every event — first the replayed history, then live events — returning
+// nil once a terminal state event arrives, ctx.Err() if the context ends,
+// ErrStreamClosed if the daemon closes the stream early (drain), or fn's
+// error if it aborts the tail.
+func (c *Client) Tail(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/campaigns/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if c.ClientID != "" {
+		req.Header.Set("X-Simd-Client", c.ClientID)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		blob, _ := io.ReadAll(resp.Body)
+		var er ErrorResponse
+		json.Unmarshal(blob, &er)
+		return &apiError{code: resp.StatusCode, resp: er}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return fmt.Errorf("simd: decoding event: %w", err)
+			}
+			data = ""
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Type == "state" {
+				if st := (Status{State: ev.State}); st.Terminal() {
+					return nil
+				}
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return ErrStreamClosed
 }
 
 // WaitUp polls /v1/healthz until the daemon answers or ctx ends — the

@@ -1,0 +1,148 @@
+package simd
+
+import "sync"
+
+// Event is one entry in a campaign's live progress stream, delivered over
+// GET /v1/campaigns/{id}/events as SSE. Two kinds flow on the same stream:
+// state transitions (Type "state") and per-trial completions (Type "trial").
+// Seq is the campaign-scoped sequence number (the SSE id:), dense from 1, so
+// a consumer can detect gaps. Trial events are published under the same lock
+// as the sweep journal append, so their order is exactly the journal's line
+// order.
+type Event struct {
+	Seq  int64  `json:"seq"`
+	Type string `json:"type"`
+	ID   string `json:"id"`
+
+	// State fields (Type "state").
+	State string `json:"state,omitempty"`
+	Err   string `json:"err,omitempty"`
+
+	// Trial fields (Type "trial").
+	Key      string  `json:"key,omitempty"`
+	Cached   bool    `json:"cached,omitempty"`
+	TrialErr string  `json:"trial_err,omitempty"`
+	WallMS   float64 `json:"wall_ms,omitempty"`
+	Done     int     `json:"done,omitempty"`
+	Total    int     `json:"total,omitempty"`
+	// ETAMS estimates the remaining campaign wall time; 0 when unknown.
+	ETAMS int64 `json:"eta_ms,omitempty"`
+}
+
+// subBuffer is the per-subscriber channel depth. A subscriber that falls
+// this far behind a live campaign is dropped (its channel closes) rather
+// than allowed to block the dispatcher: SSE is a best-effort live view, the
+// journal and results are the durable record.
+const subBuffer = 256
+
+// eventLog is one campaign's retained event history plus its live
+// subscribers.
+type eventLog struct {
+	events []Event
+	subs   map[chan Event]struct{}
+	done   bool // terminal: no further events will be published
+}
+
+// broker fans campaign events out to SSE subscribers and retains each
+// campaign's full history so a late subscriber replays from the start.
+type broker struct {
+	mu   sync.Mutex
+	logs map[string]*eventLog
+}
+
+func newBroker() *broker {
+	return &broker{logs: make(map[string]*eventLog)}
+}
+
+func (b *broker) log(id string) *eventLog {
+	l, ok := b.logs[id]
+	if !ok {
+		l = &eventLog{subs: make(map[chan Event]struct{})}
+		b.logs[id] = l
+	}
+	return l
+}
+
+// publish appends ev to the campaign's history (stamping Seq) and fans it
+// out. Publishing to a closed log is a no-op: a drain may close streams
+// while a dispatcher is still settling.
+func (b *broker) publish(id string, ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l := b.log(id)
+	if l.done {
+		return
+	}
+	ev.ID = id
+	ev.Seq = int64(len(l.events)) + 1
+	l.events = append(l.events, ev)
+	for ch := range l.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Slow subscriber: drop it rather than block the publisher.
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribe returns the campaign's history so far and a live channel for
+// what follows. When the log is already closed (terminal campaign or a
+// drained daemon) the channel is nil: the replay is the whole story.
+func (b *broker) subscribe(id string) ([]Event, chan Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l := b.log(id)
+	replay := append([]Event(nil), l.events...)
+	if l.done {
+		return replay, nil
+	}
+	ch := make(chan Event, subBuffer)
+	l.subs[ch] = struct{}{}
+	return replay, ch
+}
+
+// unsubscribe detaches a live channel (client went away).
+func (b *broker) unsubscribe(id string, ch chan Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l, ok := b.logs[id]
+	if !ok {
+		return
+	}
+	if _, live := l.subs[ch]; live {
+		delete(l.subs, ch)
+		close(ch)
+	}
+}
+
+// closeLog marks a campaign's stream complete and releases its subscribers.
+func (b *broker) closeLog(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l := b.log(id)
+	if l.done {
+		return
+	}
+	l.done = true
+	for ch := range l.subs {
+		delete(l.subs, ch)
+		close(ch)
+	}
+}
+
+// closeAll releases every subscriber (daemon drain/kill): streams of
+// non-terminal campaigns end cleanly; their logs stay replayable but accept
+// no further events this incarnation.
+func (b *broker) closeAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, l := range b.logs {
+		l.done = true
+		for ch := range l.subs {
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}

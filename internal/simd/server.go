@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,8 @@ import (
 	"mkos/internal/sweep"
 	"mkos/internal/sweep/campaigns"
 	"mkos/internal/telemetry"
+	"mkos/internal/telemetry/ops"
+	oplog "mkos/internal/telemetry/ops/log"
 )
 
 // campaign is the in-memory state of one admitted campaign.
@@ -31,24 +34,43 @@ type campaign struct {
 	// cancel from a drain. Guarded by Server.mu.
 	cancel    context.CancelFunc
 	cancelReq bool
+	// busy marks a campaign that failed because another daemon held its
+	// sweep journal (sweep.ErrJournalBusy): a transient conflict, surfaced
+	// as HTTP 409 and cleared by resubmission. Guarded by Server.mu.
+	busy bool
 	// submitted anchors the submit-to-result latency observation (reset to
-	// the requeue instant for campaigns resumed after a restart).
+	// the requeue instant for campaigns resumed after a restart). runStart
+	// anchors the per-trial ETA estimate; guarded by Server.mu.
 	submitted time.Time
+	runStart  time.Time
+
+	// span is the campaign's ops flight-recorder span, opened at admission
+	// (parented under the submitting request) and ended at settlement;
+	// waitSpan covers admission-to-dispatch queue wait. The pointers are
+	// written before the campaign is shared (or under Server.mu on a
+	// requeue) and the spans themselves are internally synchronized and
+	// nil-safe.
+	span     *ops.Span
+	waitSpan *ops.Span
 }
 
 // Server is the campaign daemon: admission, fair queueing, execution through
 // the sweep orchestrator, persistence, and recovery.
 type Server struct {
-	opts  Options
-	store *store
-	queue *fairQueue
-	ops   *telemetry.Registry
+	opts   Options
+	store  *store
+	queue  *fairQueue
+	ops    *telemetry.Registry
+	log    *oplog.Logger
+	tracer *ops.Tracer
+	events *broker
 
 	mu    sync.Mutex
 	camps map[string]*campaign
 
 	draining atomic.Bool
 	hardKill atomic.Bool
+	reqSeq   atomic.Int64
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -56,6 +78,7 @@ type Server struct {
 
 	latency *telemetry.Histogram
 	mux     *http.ServeMux
+	handler http.Handler
 }
 
 // NewServer opens (or creates) the store, recovers persisted campaigns —
@@ -80,16 +103,26 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.Build == nil {
 		opts.Build = func(s *campaigns.Spec) (*sweep.Campaign, error) { return s.Campaign() }
 	}
+	level := oplog.Info
+	if opts.LogLevel != "" {
+		var err error
+		if level, err = oplog.ParseLevel(opts.LogLevel); err != nil {
+			return nil, err
+		}
+	}
 	st, err := openStore(opts.Store)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		opts:  opts,
-		store: st,
-		queue: newFairQueue(opts.MaxQueue, opts.MaxPerClient),
-		ops:   telemetry.NewRegistry(),
-		camps: make(map[string]*campaign),
+		opts:   opts,
+		store:  st,
+		queue:  newFairQueue(opts.MaxQueue, opts.MaxPerClient),
+		ops:    telemetry.NewRegistry(),
+		log:    oplog.New(opts.Log, level),
+		tracer: ops.New(0),
+		events: newBroker(),
+		camps:  make(map[string]*campaign),
 	}
 	s.latency = s.ops.Histogram("simd.submit_to_result_ms", telemetry.ExpBuckets(1, 2, 20))
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
@@ -128,13 +161,15 @@ func (s *Server) recover() error {
 			c.st.Err = fmt.Sprintf("recovery: %v", perr)
 			s.camps[sc.id] = c
 			s.store.putStatus(sc.id, &c.st)
-			s.logf("campaign %s failed in recovery: %v", sc.id, perr)
+			s.log.Error(fmt.Sprintf("campaign %s failed in recovery", sc.id),
+				oplog.F("campaign", sc.id), oplog.F("err", perr.Error()))
 			continue
 		}
 		c.built = built
 		c.st.State = StateQueued
 		c.st.Total = len(built.Trials)
 		c.st.Executed, c.st.Cached, c.st.Failed, c.st.Err = 0, 0, 0, ""
+		c.span, c.waitSpan = s.openSpans(context.Background(), sc.id, "recovered")
 		s.camps[sc.id] = c
 		if qerr := s.queue.push(c.st.Client, c); qerr != nil {
 			c.st.State = StateFailed
@@ -144,10 +179,24 @@ func (s *Server) recover() error {
 		}
 		s.store.putStatus(sc.id, &c.st)
 		s.ops.Counter("simd.resumed").Inc()
-		s.logf("resumed campaign %s (%d trials)", sc.id, c.st.Total)
+		s.log.Info(fmt.Sprintf("resumed campaign %s (%d trials)", sc.id, c.st.Total),
+			oplog.F("campaign", sc.id), oplog.F("trials", c.st.Total))
+		s.publishState(sc.id, StateQueued, "")
 	}
 	s.gaugeDepth()
 	return nil
+}
+
+// openSpans starts a campaign's flight-recorder spans: the campaign root
+// (its own Perfetto lane, causally parented under whatever span rides ctx —
+// the submitting HTTP request, or nothing for a recovered campaign) and the
+// queue-wait child the dispatcher ends when it pops the campaign.
+func (s *Server) openSpans(ctx context.Context, id, how string) (span, waitSpan *ops.Span) {
+	ctx = ops.Attach(ctx, s.tracer)
+	ctx, span = ops.StartTrack(ctx, "campaign",
+		ops.Arg{Key: "campaign", Val: id}, ops.Arg{Key: "admitted", Val: how})
+	_, waitSpan = ops.Start(ctx, "queue-wait")
+	return span, waitSpan
 }
 
 // Start launches the dispatcher pool.
@@ -169,11 +218,12 @@ func (s *Server) Start() {
 }
 
 // Drain is the graceful-shutdown path behind SIGTERM: stop admitting (new
-// submissions see a typed 503), give running campaigns DrainGrace to finish
-// naturally, then cancel them cooperatively — their finished trials are
-// journaled, their statuses persist as interrupted — and return once every
-// dispatcher has settled. Queued campaigns stay queued on disk; the next
-// incarnation resumes everything.
+// submissions see a typed 503, health checks go non-200), give running
+// campaigns DrainGrace to finish naturally, then cancel them cooperatively —
+// their finished trials are journaled, their statuses persist as interrupted
+// — and return once every dispatcher has settled. Queued campaigns stay
+// queued on disk; the next incarnation resumes everything. Live event
+// streams are released so their handlers return.
 func (s *Server) Drain() {
 	s.draining.Store(true)
 	s.queue.close()
@@ -188,7 +238,9 @@ func (s *Server) Drain() {
 		s.runCancel()
 		<-settled
 	}
-	s.logf("drained: %d campaigns left queued for the next start", s.queue.size())
+	s.events.closeAll()
+	s.log.Info(fmt.Sprintf("drained: %d campaigns left queued for the next start", s.queue.size()),
+		oplog.F("queued", s.queue.size()))
 }
 
 // Kill is the crash-simulation path (tests and the chaos harness): stop
@@ -202,6 +254,7 @@ func (s *Server) Kill() {
 	s.queue.close()
 	s.runCancel()
 	s.wg.Wait()
+	s.events.closeAll()
 }
 
 // runCampaign executes one campaign through the sweep orchestrator and
@@ -212,24 +265,44 @@ func (s *Server) runCampaign(c *campaign) {
 	s.mu.Lock()
 	c.cancel = cancel
 	c.st.State = StateRunning
+	c.runStart = time.Now()
 	st := c.st
+	span, waitSpan := c.span, c.waitSpan
 	s.mu.Unlock()
+	waitSpan.End()
 	if !s.hardKill.Load() {
 		s.store.putStatus(c.id, &st)
 	}
 	s.observe(c.id, StateRunning)
+	s.publishState(c.id, StateRunning, "")
+	s.log.Info(fmt.Sprintf("campaign %s running", c.id),
+		oplog.F("campaign", c.id), oplog.F("trials", st.Total))
 
-	o, err := sweep.RunContext(ctx, c.built, sweep.Options{
+	// The dispatcher runs on its own context (cancellation: drain or an
+	// operator cancel), so the flight-recorder linkage is re-attached
+	// explicitly: spans opened inside the sweep parent under the campaign
+	// span the submit request opened.
+	rctx := ops.WithSpan(ops.Attach(ctx, s.tracer), span)
+	rctx, runSpan := ops.Start(rctx, "run")
+	o, err := sweep.RunContext(rctx, c.built, sweep.Options{
 		Workers:      s.opts.Workers,
 		CacheDir:     s.store.cacheDir(),
 		Version:      s.opts.Version,
 		TrialTimeout: s.opts.TrialTimeout,
 		CancelGrace:  s.opts.CancelGrace,
+		OnTrial:      func(ev sweep.TrialEvent) { s.publishTrial(c, ev) },
 	})
 	if o != nil {
 		s.ops.Counter("simd.trials.executed").Add(int64(o.Executed))
 		s.ops.Counter("simd.trials.cached").Add(int64(o.Cached))
 		s.ops.Counter("simd.trials.failed").Add(int64(o.Failed))
+		s.ops.AddSnapshot(o.Ops.Snapshot())
+		runSpan.End(
+			ops.Arg{Key: "executed", Val: strconv.Itoa(o.Executed)},
+			ops.Arg{Key: "cached", Val: strconv.Itoa(o.Cached)},
+			ops.Arg{Key: "failed", Val: strconv.Itoa(o.Failed)})
+	} else {
+		runSpan.End(ops.Arg{Key: "err", Val: fmt.Sprint(err)})
 	}
 
 	s.mu.Lock()
@@ -250,32 +323,49 @@ func (s *Server) runCampaign(c *campaign) {
 			return
 		}
 		s.settle(c, StateDone, o, "")
-		s.logf("campaign %s: %d trials: %d executed, %d cached, %d failed",
-			c.id, len(o.Results), o.Executed, o.Cached, o.Failed)
+		s.log.Info(fmt.Sprintf("campaign %s: %d trials: %d executed, %d cached, %d failed",
+			c.id, len(o.Results), o.Executed, o.Cached, o.Failed),
+			oplog.F("campaign", c.id), oplog.F("executed", o.Executed),
+			oplog.F("cached", o.Cached), oplog.F("failed", o.Failed))
 
 	case errors.Is(err, sweep.ErrInterrupted):
 		switch {
 		case canceled:
 			s.settle(c, StateCanceled, o, "")
-			s.logf("campaign %s canceled (%d trials unfinished)", c.id, o.Canceled)
+			s.log.Info(fmt.Sprintf("campaign %s canceled (%d trials unfinished)", c.id, o.Canceled),
+				oplog.F("campaign", c.id), oplog.F("unfinished", o.Canceled))
 		default:
 			// Drain or hard kill: the campaign is not over, it is paused.
 			// Finished trials are already journaled; persist the
 			// interruption (unless we are simulating a crash, which gets no
 			// courtesy writes) so the next incarnation requeues it.
 			s.settle(c, StateInterrupted, o, "")
-			s.logf("campaign %s interrupted: %d trials journaled for resume", c.id, o.Executed+o.Cached)
+			s.log.Info(fmt.Sprintf("campaign %s interrupted: %d trials journaled for resume", c.id, o.Executed+o.Cached),
+				oplog.F("campaign", c.id), oplog.F("journaled", o.Executed+o.Cached))
 		}
+
+	case errors.Is(err, sweep.ErrJournalBusy):
+		// Another daemon holds this campaign's journal — a deployment
+		// overlap, not a campaign defect. The state is failed (this daemon
+		// cannot run it) but the conflict is transient: results requests
+		// answer 409 and a resubmission requeues the campaign.
+		s.mu.Lock()
+		c.busy = true
+		s.mu.Unlock()
+		s.settle(c, StateFailed, o, err.Error())
+		s.log.Warn(fmt.Sprintf("campaign %s journal is held by another daemon", c.id),
+			oplog.F("campaign", c.id), oplog.F("err", err.Error()))
 
 	default:
 		s.settle(c, StateFailed, o, err.Error())
-		s.logf("campaign %s failed: %v", c.id, err)
+		s.log.Error(fmt.Sprintf("campaign %s failed", c.id),
+			oplog.F("campaign", c.id), oplog.F("err", err.Error()))
 	}
 }
 
 // settle moves a campaign to its post-run state, persists it (except under a
-// simulated crash), and publishes the latency observation for terminal
-// outcomes.
+// simulated crash), publishes the state transition to live streams, and
+// records the latency observation for terminal outcomes.
 func (s *Server) settle(c *campaign, state string, o *sweep.Outcome, errMsg string) {
 	s.mu.Lock()
 	c.st.State = state
@@ -285,6 +375,7 @@ func (s *Server) settle(c *campaign, state string, o *sweep.Outcome, errMsg stri
 	}
 	st := c.st
 	elapsed := time.Since(c.submitted)
+	span := c.span
 	s.mu.Unlock()
 	if !s.hardKill.Load() {
 		s.store.putStatus(c.id, &st)
@@ -294,6 +385,36 @@ func (s *Server) settle(c *campaign, state string, o *sweep.Outcome, errMsg stri
 		s.ops.Counter("simd.campaigns." + state).Inc()
 	}
 	s.observe(c.id, state)
+	s.publishState(c.id, state, errMsg)
+	span.End(ops.Arg{Key: "state", Val: state})
+	if st.Terminal() {
+		s.events.closeLog(c.id)
+	}
+}
+
+// publishState emits a lifecycle transition on the campaign's event stream.
+func (s *Server) publishState(id, state, errMsg string) {
+	s.events.publish(id, Event{Type: "state", State: state, Err: errMsg})
+}
+
+// publishTrial relays one finished trial from the sweep hook onto the event
+// stream, adding the wall-clock ETA estimate.
+func (s *Server) publishTrial(c *campaign, ev sweep.TrialEvent) {
+	e := Event{
+		Type: "trial", Key: ev.Key, Cached: ev.Cached, TrialErr: ev.Err,
+		WallMS: float64(ev.Wall) / float64(time.Millisecond),
+		Done:   ev.Done, Total: ev.Total,
+	}
+	if ev.Done > 0 && ev.Done < ev.Total {
+		s.mu.Lock()
+		start := c.runStart
+		s.mu.Unlock()
+		if !start.IsZero() {
+			elapsed := time.Since(start)
+			e.ETAMS = int64(float64(elapsed) / float64(ev.Done) * float64(ev.Total-ev.Done) / float64(time.Millisecond))
+		}
+	}
+	s.events.publish(c.id, e)
 }
 
 // resultsJSON renders the deterministic results artifact in exactly the
@@ -310,8 +431,12 @@ func resultsJSON(o *sweep.Outcome) []byte {
 	return append(blob, '\n')
 }
 
-// Handler returns the daemon's HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP API, wrapped in the observability
+// middleware (request ids, request spans, structured access logs).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Tracer exposes the daemon's ops flight recorder (tests and /v1/trace).
+func (s *Server) Tracer() *ops.Tracer { return s.tracer }
 
 // ListenAndServe serves the API on addr until ctx is canceled, then drains:
 // stops admitting, finishes or journals in-flight work, and shuts the
@@ -319,7 +444,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           s.mux,
+		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -330,14 +455,15 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		}
 	}()
 	s.Start()
-	s.logf("serving on %s (store %s)", addr, s.opts.Store)
+	s.log.Info(fmt.Sprintf("serving on %s (store %s)", addr, s.opts.Store),
+		oplog.F("addr", addr), oplog.F("store", s.opts.Store))
 	select {
 	case err := <-errCh:
 		s.queue.close()
 		return err
 	case <-ctx.Done():
 	}
-	s.logf("draining: admission closed, finishing or journaling in-flight campaigns")
+	s.log.Info("draining: admission closed, finishing or journaling in-flight campaigns")
 	s.Drain()
 	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -347,12 +473,62 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux = mux
+	s.handler = s.withObservability(mux)
+}
+
+// statusWriter captures the response status for the access log and forwards
+// Flush, which the SSE handler requires through the middleware wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withObservability assigns every request an id, opens its flight-recorder
+// span (the causal root every campaign span parents under), and writes one
+// structured access-log line. Health and metrics probes log at debug so a
+// tight wait-up or scrape loop does not flood the info log.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := "r" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		ctx := ops.WithRequest(ops.Attach(r.Context(), s.tracer), reqID)
+		ctx, span := ops.Start(ctx, r.Method+" "+r.URL.Path,
+			ops.Arg{Key: "client", Val: clientID(r)})
+		w.Header().Set("X-Simd-Request", reqID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		span.End(ops.Arg{Key: "status", Val: strconv.Itoa(sw.status)})
+		logf := s.log.Info
+		if r.URL.Path == "/v1/healthz" || r.URL.Path == "/v1/metrics" {
+			logf = s.log.Debug
+		}
+		logf(fmt.Sprintf("%s %s -> %d", r.Method, r.URL.Path, sw.status),
+			oplog.F("request_id", reqID), oplog.F("method", r.Method),
+			oplog.F("path", r.URL.Path), oplog.F("status", sw.status),
+			oplog.F("ms", float64(time.Since(start))/float64(time.Millisecond)),
+			oplog.F("client", clientID(r)))
+	})
 }
 
 // writeJSON renders v with a status code.
@@ -401,6 +577,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	if c, ok := s.camps[id]; ok {
+		if c.busy && c.st.Terminal() && c.built != nil {
+			s.requeueBusy(w, r, c)
+			return
+		}
 		st := c.st
 		s.mu.Unlock()
 		st.Deduped = true
@@ -425,12 +605,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id: id, canon: canon, built: built, submitted: time.Now(),
 		st: Status{ID: id, Client: client, State: StateQueued, Total: len(built.Trials)},
 	}
+	// Spans open before the campaign is shared, so no concurrent reader ever
+	// observes the pointers half-written.
+	c.span, c.waitSpan = s.openSpans(r.Context(), id, "submitted")
 	s.mu.Lock()
 	if prev, ok := s.camps[id]; ok {
 		// Two identical submissions raced past the first check; the earlier
 		// winner owns the campaign.
 		st := prev.st
 		s.mu.Unlock()
+		c.waitSpan.End(ops.Arg{Key: "outcome", Val: "deduped"})
+		c.span.End(ops.Arg{Key: "state", Val: "deduped"})
 		st.Deduped = true
 		s.ops.Counter("simd.deduped").Inc()
 		writeJSON(w, http.StatusOK, st)
@@ -470,8 +655,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.gaugeDepth()
 	s.ops.Counter("simd.admitted").Inc()
-	s.logf("admitted campaign %s (client %s, %d trials)", id, client, st.Total)
+	s.log.Info(fmt.Sprintf("admitted campaign %s (client %s, %d trials)", id, client, st.Total),
+		oplog.F("campaign", id), oplog.F("request_id", ops.RequestID(r.Context())),
+		oplog.F("client", client), oplog.F("trials", st.Total))
 	s.observe(id, StateQueued)
+	s.publishState(id, StateQueued, "")
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// requeueBusy retries a campaign that previously failed on a held journal:
+// the resubmission is the operator's signal that the other daemon may be
+// gone. Called with s.mu held; releases it.
+func (s *Server) requeueBusy(w http.ResponseWriter, r *http.Request, c *campaign) {
+	c.busy = false
+	c.cancelReq = false
+	c.st.State = StateQueued
+	c.st.Executed, c.st.Cached, c.st.Failed, c.st.Err = 0, 0, 0, ""
+	c.submitted = time.Now()
+	c.span, c.waitSpan = s.openSpans(r.Context(), c.id, "requeued")
+	st := c.st
+	s.mu.Unlock()
+	if err := s.queue.push(st.Client, c); err != nil {
+		s.mu.Lock()
+		c.busy = true
+		c.st.State = StateFailed
+		s.mu.Unlock()
+		reject(w, http.StatusConflict, ReasonJournalBusy,
+			"campaign journal was held by another daemon and the retry could not be queued", time.Second)
+		return
+	}
+	s.store.putStatus(c.id, &st)
+	s.gaugeDepth()
+	s.log.Info(fmt.Sprintf("requeued campaign %s after journal conflict", c.id),
+		oplog.F("campaign", c.id), oplog.F("request_id", ops.RequestID(r.Context())))
+	s.observe(c.id, StateQueued)
+	s.publishState(c.id, StateQueued, "")
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -498,17 +716,36 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleList returns every known campaign's status, sorted by id — the
+// fleet view simctl top renders.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sts := make([]Status, 0, len(s.camps))
+	for _, c := range s.camps {
+		sts = append(sts, c.st)
+	}
+	s.mu.Unlock()
+	sort.Slice(sts, func(i, j int) bool { return sts[i].ID < sts[j].ID })
+	writeJSON(w, http.StatusOK, sts)
+}
+
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	c, ok := s.camps[id]
 	var st Status
+	var busy bool
 	if ok {
-		st = c.st
+		st, busy = c.st, c.busy
 	}
 	s.mu.Unlock()
 	if !ok {
 		reject(w, http.StatusNotFound, ReasonNotFound, "no such campaign", 0)
+		return
+	}
+	if busy {
+		reject(w, http.StatusConflict, ReasonJournalBusy,
+			"campaign journal is held by another daemon on this cache dir; resubmit to retry", time.Second)
 		return
 	}
 	if st.State != StateDone {
@@ -546,12 +783,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		if s.queue.remove(id) {
 			c.st.State = StateCanceled
 			st := c.st
+			span, waitSpan := c.span, c.waitSpan
 			s.mu.Unlock()
 			s.gaugeDepth()
 			s.store.putStatus(id, &st)
 			s.ops.Counter("simd.campaigns." + StateCanceled).Inc()
-			s.logf("campaign %s canceled while queued", id)
+			s.log.Info(fmt.Sprintf("campaign %s canceled while queued", id),
+				oplog.F("campaign", id), oplog.F("request_id", ops.RequestID(r.Context())))
 			s.observe(id, StateCanceled)
+			s.publishState(id, StateCanceled, "")
+			waitSpan.End(ops.Arg{Key: "outcome", Val: "canceled"})
+			span.End(ops.Arg{Key: "state", Val: StateCanceled})
+			s.events.closeLog(id)
 			writeJSON(w, http.StatusOK, st)
 			return
 		}
@@ -579,8 +822,99 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleMetrics serves the ops registry as a Prometheus text exposition.
+// The body is reproducible for a fixed registry state (stable ordering), so
+// shell gates can parse and re-scrape it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ops.WriteExposition(w, s.ops.Snapshot())
+}
+
+// handleTrace serves the ops flight recorder as Chrome trace_event JSON —
+// load it in Perfetto beside a campaign's sim-time trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.tracer.WriteChromeTrace(w)
+}
+
+// handleHealthz answers 200 while serving and 503 once a drain begins, so a
+// load balancer stops routing to a dying daemon. The body names the state
+// either way.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.draining.Load()})
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ok": false, "draining": true, "state": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": false, "state": "serving"})
+}
+
+// handleEvents streams a campaign's progress as Server-Sent Events: the full
+// retained history first (SSE ids are the event sequence numbers), then live
+// events until the campaign reaches a terminal state, the client goes away,
+// or the daemon drains.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c, ok := s.camps[id]
+	var st Status
+	if ok {
+		st = c.st
+	}
+	s.mu.Unlock()
+	if !ok {
+		reject(w, http.StatusNotFound, ReasonNotFound, "no such campaign", 0)
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		reject(w, http.StatusInternalServerError, "stream_unsupported", "response writer cannot flush", 0)
+		return
+	}
+	replay, ch := s.events.subscribe(id)
+	if len(replay) == 0 && st.Terminal() {
+		// A campaign finished by a previous incarnation has no in-memory
+		// history; synthesize its terminal state so the stream still tells
+		// the whole (remaining) story.
+		replay = []Event{{Seq: 1, Type: "state", ID: id, State: st.State, Err: st.Err}}
+		if ch != nil {
+			s.events.unsubscribe(id, ch)
+			ch = nil
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range replay {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+	if ch == nil {
+		return
+	}
+	defer s.events.unsubscribe(id, ch)
+	for {
+		select {
+		case ev, live := <-ch:
+			if !live {
+				return // terminal state published, or the daemon drained
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE frames one event: id is the sequence number, event the type,
+// data the JSON payload.
+func writeSSE(w io.Writer, ev Event) {
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, blob)
 }
 
 // Stats snapshots the daemon's operational counters.
@@ -644,11 +978,5 @@ func (s *Server) gaugeDepth() {
 func (s *Server) observe(id, state string) {
 	if s.opts.Observe != nil {
 		s.opts.Observe(id, state)
-	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.opts.Log != nil {
-		fmt.Fprintf(s.opts.Log, "simd: "+format+"\n", args...)
 	}
 }

@@ -74,6 +74,11 @@ const (
 	ReasonTooLarge      = "spec_too_large" // the request body exceeded MaxSpecBytes
 	ReasonNotFound      = "unknown_campaign"
 	ReasonNotDone       = "not_done" // results requested before a terminal state
+	// ReasonJournalBusy marks a campaign whose sweep journal is flocked by
+	// another daemon on the same cache dir (sweep.ErrJournalBusy): a
+	// transient deployment overlap, answered with HTTP 409. Resubmitting the
+	// campaign requeues it once the other daemon lets go.
+	ReasonJournalBusy = "journal_busy"
 )
 
 // Options configures a Server.
@@ -106,9 +111,16 @@ type Options struct {
 	// Version pins the sweep cache/journal version; empty selects
 	// sweep.CodeVersion().
 	Version string
-	// Log, when non-nil, receives one line per lifecycle event (admitted,
-	// resumed, done, failed, drained) — the stream the chaos gate greps.
+	// Log, when non-nil, receives structured JSON log lines (one object per
+	// line: ts, level, msg, then fields — request and campaign ids ride
+	// every relevant line). Lifecycle messages keep their stable substrings
+	// ("resumed campaign <id>", "drained:"), which is what the chaos gate
+	// greps.
 	Log io.Writer
+	// LogLevel is the minimum level written to Log: "debug", "info"
+	// (default), "warn" or "error". Access-log lines for health and metrics
+	// probes log at debug.
+	LogLevel string
 
 	// Build converts a parsed spec into the runnable campaign. Nil selects
 	// the production path, campaigns.Spec.Campaign; tests substitute

@@ -38,11 +38,13 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"mkos/internal/sim"
 	"mkos/internal/telemetry"
+	"mkos/internal/telemetry/ops"
 )
 
 // Trial is one independent unit of campaign work.
@@ -151,6 +153,31 @@ type Options struct {
 	// (deterministic trials fail deterministically); pass true after fixing
 	// the cause to re-run exactly the failed set.
 	RetryFailed bool
+
+	// OnTrial, when non-nil, receives one event per finished trial — both
+	// trials restored from the cache/journal during the probe (in sorted key
+	// order) and trials executed by the pool. For executed trials the
+	// callback fires under the same lock as the journal append, so the event
+	// sequence matches the journal's line order exactly: a consumer
+	// replaying events sees the same history a crash-recovery replay of the
+	// journal would. The callback runs on orchestrator goroutines and must
+	// not block.
+	OnTrial func(TrialEvent)
+}
+
+// TrialEvent is one finished trial, as observed by Options.OnTrial. It is an
+// ops-side (wall-clock) observation — Wall is host time and event order is
+// completion order — and never feeds back into deterministic artifacts.
+type TrialEvent struct {
+	// Key is the trial key; Err its failure message ("" on success).
+	Key, Err string
+	// Cached marks a trial restored from the cache or journal.
+	Cached bool
+	// Wall is the execution time (zero when restored).
+	Wall time.Duration
+	// Done counts trials finished so far (including this one); Total is the
+	// campaign size.
+	Done, Total int
 }
 
 // TrialResult is one trial's outcome. The JSON form is what the cache stores
@@ -282,6 +309,24 @@ const (
 	statusCanceledLeaked                    // canceled by shutdown AND goroutine abandoned
 )
 
+// statusLabel renders a trial's ending for the ops trace.
+func statusLabel(s trialStatus, res TrialResult) string {
+	switch s {
+	case statusDone:
+		if res.Err != "" {
+			return "failed"
+		}
+		return "done"
+	case statusTimedOut:
+		return "timed_out"
+	case statusLeaked:
+		return "leaked"
+	case statusCanceledLeaked:
+		return "canceled_leaked"
+	}
+	return "canceled"
+}
+
 // RunContext executes the campaign and merges its results deterministically.
 //
 // Only campaign-level problems (duplicate keys, an unusable cache directory)
@@ -334,17 +379,36 @@ func RunContext(ctx context.Context, c *Campaign, opts Options) (*Outcome, error
 	// quarantined) even when the campaign journal can still satisfy the
 	// trial; the journal then adds what the shared cache deliberately lacks
 	// — campaign-scoped memory of failed trials.
+	// emitted serializes Options.OnTrial with the journal appends: while the
+	// lock is held a trial is persisted and then announced, so the event
+	// stream's order is exactly the journal's line order. Probe-time
+	// restores run before the pool starts and emit in sorted key order.
+	var emitMu sync.Mutex
+	var emitted int
+	notify := func(res TrialResult) {
+		if opts.OnTrial == nil {
+			return
+		}
+		emitted++
+		opts.OnTrial(TrialEvent{
+			Key: res.Key, Err: res.Err, Cached: res.Cached, Wall: res.Wall,
+			Done: emitted, Total: len(trials),
+		})
+	}
+
 	results := make([]TrialResult, len(trials))
 	recorders := make([]*telemetry.Recorder, len(trials))
 	statuses := make([]trialStatus, len(trials))
 	hashes := make([]string, len(trials))
 	var pending []int
+	_, probeSpan := ops.Start(ctx, "probe")
 	for i, t := range trials {
 		seed := DeriveSeed(c.Seed, t.Key)
 		if cache != nil {
 			hashes[i], _ = cache.entryHash(t, seed)
 			if r, ok := cache.load(t, seed); ok {
 				results[i], statuses[i] = r, statusDone
+				notify(r)
 				continue
 			}
 		}
@@ -352,17 +416,25 @@ func RunContext(ctx context.Context, c *Campaign, opts Options) (*Outcome, error
 			if r, ok := jl.lookup(hashes[i]); ok && !(opts.RetryFailed && r.Err != "") {
 				r.Cached = true
 				results[i], statuses[i] = r, statusDone
+				notify(r)
 				continue
 			}
 		}
 		results[i] = TrialResult{Key: t.Key, Seed: seed}
 		pending = append(pending, i)
 	}
+	probeSpan.End(
+		ops.Arg{Key: "restored", Val: strconv.Itoa(len(trials) - len(pending))},
+		ops.Arg{Key: "pending", Val: strconv.Itoa(len(pending))})
 
 	prog := newProgress(c.Name, len(trials), len(trials)-len(pending), opts)
 	runPool(ctx, workers, pending, func(i int) {
 		t := trials[i]
-		res, rec, status := runTrial(ctx, t, results[i].Seed, opts)
+		// Each trial gets its own Perfetto lane: concurrent trials overlap
+		// in wall time, so they must not share a track.
+		tctx, span := ops.StartTrack(ctx, "trial", ops.Arg{Key: "key", Val: t.Key})
+		res, rec, status := runTrial(tctx, t, results[i].Seed, opts)
+		span.End(ops.Arg{Key: "status", Val: statusLabel(status, res)})
 		results[i], recorders[i], statuses[i] = res, rec, status
 		if status == statusNotRun || status == statusCanceledLeaked {
 			return // canceled mid-run: nothing to record, the trial re-runs on resume
@@ -370,12 +442,26 @@ func RunContext(ctx context.Context, c *Campaign, opts Options) (*Outcome, error
 		// Timed-out and leaked trials are deliberately not persisted: the
 		// timeout is a host-side observation, so a resume re-executes them.
 		if status == statusDone {
+			if opts.OnTrial != nil {
+				emitMu.Lock()
+			}
 			if cache != nil && res.Err == "" {
 				cache.store(t, res)
 			}
 			if jl != nil && hashes[i] != "" {
 				jl.append(hashes[i], res)
 			}
+			if opts.OnTrial != nil {
+				notify(res)
+				emitMu.Unlock()
+			}
+		} else if opts.OnTrial != nil {
+			// Timed-out / leaked trials are failures in the outcome but never
+			// in the journal; announce them so a live consumer sees the
+			// failure rather than a stalled stream.
+			emitMu.Lock()
+			notify(res)
+			emitMu.Unlock()
 		}
 		prog.done(res)
 	})

@@ -1,0 +1,101 @@
+package ops
+
+import "context"
+
+// Context propagation: the tracer, the current span and the request id ride
+// the context so instrumentation never needs plumbing through signatures.
+// ops.Start(ctx, ...) is a no-op (returns a nil span) when no tracer is
+// attached — instrumented code is free to call it unconditionally.
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	requestKey
+)
+
+// Attach returns ctx carrying the tracer. A nil tracer detaches.
+func Attach(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// FromContext returns the attached tracer, nil if none.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithRequest returns ctx carrying a request id; spans started under it
+// inherit the id into their args and log lines can echo it.
+func WithRequest(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestKey, id)
+}
+
+// RequestID returns the request id attached to ctx, "" if none.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestKey).(string)
+	return id
+}
+
+// WithSpan returns ctx with s as the current span — the parent of any span
+// started under the returned context. Used to re-parent work that crosses a
+// goroutine or context boundary (the dispatcher re-attaches the campaign's
+// submit-time span before running it).
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFromContext returns the current span, nil if none.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// Start opens a span named name as a child of the context's current span (a
+// root if there is none) and returns a derived context carrying the new span.
+// Sequential children share the parent's Perfetto track; use StartTrack for
+// children that run concurrently with their siblings. With no tracer
+// attached, Start returns (ctx, nil) and the nil span's End is a no-op.
+func Start(ctx context.Context, name string, args ...Arg) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.start(name, SpanFromContext(ctx), RequestID(ctx), false, args)
+	return WithSpan(ctx, s), s
+}
+
+// StartTrack is Start on a fresh track: the span still parents under the
+// context's current span causally, but renders on its own lane — required
+// for spans that overlap their siblings in wall time (concurrent trials
+// under one campaign).
+func StartTrack(ctx context.Context, name string, args ...Arg) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.start(name, SpanFromContext(ctx), RequestID(ctx), true, args)
+	return WithSpan(ctx, s), s
+}
+
+// Instant records a point event under the context's current span.
+func Instant(ctx context.Context, name string, args ...Arg) {
+	t := FromContext(ctx)
+	if t == nil {
+		return
+	}
+	t.instant(name, SpanFromContext(ctx), RequestID(ctx), args)
+}
+
+// TraceFile is the CLI convenience behind every -ops-trace flag: with a
+// non-empty path it attaches a fresh Tracer to ctx and returns a flush
+// function that writes the recorded Chrome trace to path; with an empty
+// path it returns ctx unchanged and a no-op flush, so callers never branch.
+func TraceFile(ctx context.Context, path string) (context.Context, func() error) {
+	if path == "" {
+		return ctx, func() error { return nil }
+	}
+	t := New(0)
+	return Attach(ctx, t), func() error { return t.WriteFile(path) }
+}

@@ -1,0 +1,137 @@
+package oplog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func lines(buf *bytes.Buffer) []map[string]any {
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		m := map[string]any{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			panic("log line is not JSON: " + line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Info)
+	l.Info("admitted campaign abc", F("campaign", "abc"), F("trials", 38))
+	l.Error("boom", F("err", "kaput"))
+
+	got := lines(&buf)
+	if len(got) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(got))
+	}
+	if got[0]["level"] != "info" || got[0]["msg"] != "admitted campaign abc" {
+		t.Errorf("first line = %v", got[0])
+	}
+	if got[0]["campaign"] != "abc" || got[0]["trials"] != float64(38) {
+		t.Errorf("fields missing on %v", got[0])
+	}
+	if _, ok := got[0]["ts"].(string); !ok {
+		t.Errorf("ts missing on %v", got[0])
+	}
+	if got[1]["level"] != "error" || got[1]["err"] != "kaput" {
+		t.Errorf("second line = %v", got[1])
+	}
+}
+
+func TestFieldOrderFixed(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Info).With(F("request_id", "r1"))
+	l.Info("hello", F("z", 1), F("a", 2))
+	line := buf.String()
+	// Fixed prefix order: ts, level, msg, bound fields, then call fields in
+	// the order given — never map-sorted.
+	for _, pair := range [][2]string{
+		{`"ts":`, `"level":`}, {`"level":`, `"msg":`}, {`"msg":`, `"request_id":`},
+		{`"request_id":`, `"z":`}, {`"z":`, `"a":`},
+	} {
+		if strings.Index(line, pair[0]) > strings.Index(line, pair[1]) {
+			t.Errorf("field %s should precede %s in %q", pair[0], pair[1], line)
+		}
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Warn)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	if got := len(lines(&buf)); got != 2 {
+		t.Errorf("min=warn wrote %d lines, want 2: %s", got, buf.String())
+	}
+}
+
+func TestWithInheritance(t *testing.T) {
+	var buf bytes.Buffer
+	base := New(&buf, Info).With(F("request_id", "r9"))
+	child := base.With(F("campaign", "c1"))
+	child.Info("running")
+	got := lines(&buf)
+	if got[0]["request_id"] != "r9" || got[0]["campaign"] != "c1" {
+		t.Errorf("derived logger lost bound fields: %v", got[0])
+	}
+}
+
+func TestNilLoggerInert(t *testing.T) {
+	var l *Logger
+	l.Info("into the void")
+	l.With(F("k", "v")).Error("still fine")
+	if New(nil, Info) != nil {
+		t.Error("New(nil, ...) should return the inert nil logger")
+	}
+}
+
+func TestUnmarshalableFieldFallsBack(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, Info).Info("weird", F("ch", make(chan int)))
+	got := lines(&buf) // panics if the line is not valid JSON
+	if _, ok := got[0]["ch"].(string); !ok {
+		t.Errorf("unmarshalable value should render as a string: %v", got[0])
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": Debug, "info": Info, "warn": Warn, "error": Error} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel should reject unknown names")
+	}
+}
+
+func TestConcurrentWholeLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Info)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.With(F("worker", 1)).Info("tick", F("n", j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(lines(&buf)); got != 400 { // panics on any torn line
+		t.Errorf("wrote %d intact lines, want 400", got)
+	}
+}

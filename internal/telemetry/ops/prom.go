@@ -1,0 +1,96 @@
+package ops
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mkos/internal/telemetry"
+)
+
+// WriteExposition renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters as <name>_total, gauges
+// verbatim, histograms as cumulative le-labeled buckets plus _sum and
+// _count. Output ordering is stable — names sort within each family group —
+// so the endpoint's body is reproducible for a fixed registry state and CI
+// can diff it. Registry names use dots ("simd.trials.executed"); exposition
+// names replace every character outside [a-zA-Z0-9_:] with '_'
+// ("simd_trials_executed_total").
+func WriteExposition(w io.Writer, s *telemetry.Snapshot) error {
+	bw := &errWriter{w: w}
+	if s == nil {
+		return nil
+	}
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := promName(name) + "_total"
+		bw.printf("# TYPE %s counter\n", m)
+		bw.printf("%s %d\n", m, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := promName(name)
+		bw.printf("# TYPE %s gauge\n", m)
+		bw.printf("%s %s\n", m, promFloat(s.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		m := promName(name)
+		bw.printf("# TYPE %s histogram\n", m)
+		// telemetry histograms store per-bucket counts; the exposition wants
+		// cumulative counts up to and including each upper bound.
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			bw.printf("%s_bucket{le=%q} %d\n", m, promFloat(bound), cum)
+		}
+		bw.printf("%s_bucket{le=\"+Inf\"} %d\n", m, h.N)
+		bw.printf("%s_sum %s\n", m, promFloat(h.Sum))
+		bw.printf("%s_count %d\n", m, h.N)
+	}
+	return bw.err
+}
+
+// promName maps a registry metric name onto the Prometheus grammar.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,104 @@
+package ops
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mkos/internal/telemetry"
+)
+
+// expositionLine validates one line of the Prometheus text format: either a
+// # TYPE comment or a sample with an optional single le label.
+var expositionLine = regexp.MustCompile(
+	`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|` +
+		`[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [0-9eE.+-]+|` +
+		`[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="\+Inf"\}) [0-9]+)$`)
+
+func buildSnapshot() *telemetry.Snapshot {
+	reg := telemetry.NewRegistry()
+	reg.Counter("simd.trials.executed").Add(7)
+	reg.Counter("simd.admitted").Add(3)
+	reg.Gauge("simd.queue.depth").Set(2)
+	h := reg.Histogram("simd.submit_to_result_ms", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	return reg.Snapshot()
+}
+
+func TestWriteExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, buildSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Errorf("line does not parse as exposition format: %q", line)
+		}
+	}
+
+	for _, want := range []string{
+		"# TYPE simd_trials_executed_total counter",
+		"simd_trials_executed_total 7",
+		"simd_admitted_total 3",
+		"# TYPE simd_queue_depth gauge",
+		"simd_queue_depth 2",
+		"# TYPE simd_submit_to_result_ms histogram",
+		`simd_submit_to_result_ms_bucket{le="1"} 1`,
+		`simd_submit_to_result_ms_bucket{le="10"} 2`,
+		`simd_submit_to_result_ms_bucket{le="100"} 3`,
+		`simd_submit_to_result_ms_bucket{le="+Inf"} 4`,
+		"simd_submit_to_result_ms_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Counters sort: simd_admitted_total before simd_trials_executed_total.
+	if strings.Index(out, "simd_admitted_total") > strings.Index(out, "simd_trials_executed_total") {
+		t.Error("counters are not in sorted order")
+	}
+}
+
+func TestExpositionStable(t *testing.T) {
+	snap := buildSnapshot()
+	var a, b bytes.Buffer
+	if err := WriteExposition(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteExposition(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two expositions of the same snapshot differ")
+	}
+}
+
+func TestExpositionNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil snapshot wrote %q, want nothing", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"simd.trials.executed": "simd_trials_executed",
+		"sweep.trial_wall_ms":  "sweep_trial_wall_ms",
+		"9lives":               "_9lives",
+		"a-b/c d":              "a_b_c_d",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -4,6 +4,9 @@
 # and assert that (a) the campaign is resumed with zero re-executed trials,
 # (b) its artifacts are byte-identical to a never-crashed cmd/sweep run of
 # the same spec, and (c) a SIGTERM afterwards drains cleanly (exit 0).
+# Along the way both incarnations' /v1/metrics expositions are scraped and
+# validated: the text parses, and the trial counters cohere with the journal
+# (executed-before-kill lines reappear as cached after the restart).
 #
 # Usage: scripts/simd-chaos-check.sh [SPEC] [WORKDIR] [PORT]
 set -eu
@@ -23,6 +26,23 @@ $GO build -o "$WORK/sweep" ./cmd/sweep
 
 executed() { sed -n 's/.*: \([0-9][0-9]*\) executed,.*/\1/p' "$1" | tail -n 1; }
 field() { sed -n "s/.*$2=\\([a-z0-9]*\\).*/\\1/p" "$1" | tail -n 1; }
+
+# metric NAME FILE — extract one sample's value from a scraped exposition.
+metric() { awk -v n="$1" '$1 == n { print $2 }' "$2" | tail -n 1; }
+
+# check_exposition FILE — every non-comment line must be `name value`, and
+# at least one TYPE header must be present (i.e. the scrape was real).
+check_exposition() {
+  awk '/^#/ { next } NF != 2 { bad = 1; print "bad exposition line: " $0 > "/dev/stderr" }
+       END { exit bad }' "$1" || {
+    echo "FAIL: $1 is not valid Prometheus text exposition" >&2
+    exit 1
+  }
+  grep -q '^# TYPE ' "$1" || {
+    echo "FAIL: $1 has no TYPE headers — empty or broken scrape" >&2
+    exit 1
+  }
+}
 
 # Reference: the same campaign through the CLI, never interrupted, serial.
 "$WORK/sweep" -spec "$SPEC" -j 1 -outdir "$WORK/clean" | tee "$WORK/clean.txt"
@@ -46,6 +66,14 @@ for i in $(seq 1 100); do
   if [ -n "$JOURNAL" ] && [ "$(wc -l < "$JOURNAL")" -ge 5 ]; then break; fi
   sleep 0.2
 done
+# Scrape the first incarnation's exposition before the kill: it must parse,
+# and the daemon must be mid-campaign from the metrics' point of view too.
+"$WORK/simctl" -addr "$ADDR" metrics > "$WORK/metrics1.txt"
+check_exposition "$WORK/metrics1.txt"
+if [ "$(metric simd_admitted_total "$WORK/metrics1.txt")" != "1" ]; then
+  echo "FAIL: pre-kill exposition does not show the admitted campaign" >&2
+  exit 1
+fi
 kill -9 "$PID"
 wait "$PID" 2>/dev/null || true
 FIRST=$(wc -l < "$JOURNAL")
@@ -80,6 +108,18 @@ if [ "$RESTORED" -ne "$FIRST" ]; then
   exit 1
 fi
 
+# The successor's exposition must parse and cohere with the journal math:
+# counters reset on restart, so executed + cached in incarnation 2 covers
+# the whole campaign, with exactly the journaled prefix arriving as cached.
+"$WORK/simctl" -addr "$ADDR" metrics > "$WORK/metrics2.txt"
+check_exposition "$WORK/metrics2.txt"
+M_EXEC=$(metric simd_trials_executed_total "$WORK/metrics2.txt")
+M_CACHED=$(metric simd_trials_cached_total "$WORK/metrics2.txt")
+if [ "$((M_EXEC + M_CACHED))" -ne "$TOTAL" ] || [ "$M_CACHED" -ne "$FIRST" ]; then
+  echo "FAIL: post-restart metrics executed=$M_EXEC cached=$M_CACHED, want $((TOTAL - FIRST))/$FIRST" >&2
+  exit 1
+fi
+
 # Byte-identity: the daemon's artifacts for the crashed-and-resumed campaign
 # match the never-crashed CLI run exactly.
 "$WORK/simctl" -addr "$ADDR" results "$ID" > "$WORK/resumed-results.json"
@@ -100,4 +140,4 @@ grep -q "drained:" "$WORK/simd2.log" || {
   exit 1
 }
 
-echo "simd chaos OK: $FIRST trials before SIGKILL + $SECOND after restart = $TOTAL, zero re-executed, artifacts byte-identical, SIGTERM drained cleanly"
+echo "simd chaos OK: $FIRST trials before SIGKILL + $SECOND after restart = $TOTAL, zero re-executed, artifacts byte-identical, metrics coherent, SIGTERM drained cleanly"
