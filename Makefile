@@ -2,7 +2,7 @@ GO ?= go
 J ?= 0
 SWEEP_SPEC ?= specs/ci-sweep.json
 
-.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep simd-race simd-chaos simd-load simd-obs
+.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep simd-race simd-chaos simd-load simd-obs shard-race shard-determinism bench-engine bench-shard
 
 all: check
 
@@ -100,6 +100,28 @@ simd-load:
 simd-obs:
 	sh scripts/simd-obs-check.sh $(SWEEP_SPEC) /tmp/mkos-simd-obs
 
+# shard-race runs the conservative-parallel runner and its clients under
+# the race detector (also part of the full `race` target).
+shard-race:
+	$(GO) test -race ./internal/shard/... ./internal/apps/ ./internal/cluster/ ./internal/interconnect/
+
+# shard-determinism is the sharded runner's end-to-end gate: a full-machine
+# FWQ campaign at -shards 1, 2 and 8 must write byte-identical artifacts,
+# and the 8-shard run must carry real cross-shard traffic.
+shard-determinism:
+	sh scripts/shard-determinism-check.sh /tmp/mkos-shard-det
+
+# bench-engine records raw engine dispatch throughput (events/s, B/op,
+# allocs/op) at exactly 1e6 and 1e7 events into results/BENCH_engine.json.
+bench-engine:
+	sh scripts/bench-engine.sh
+
+# bench-shard records the 158,976-node full-machine sharded FWQ run
+# (wall time at -shards 1 vs 8, window/barrier/cross-shard overhead) into
+# results/BENCH_shard.json.
+bench-shard:
+	sh scripts/bench-shard.sh
+
 # determinism runs the fault-injection sweep twice with telemetry artifacts
 # enabled and fails on any byte difference — the metrics dump and trace JSON
 # must be identical for identical seeds.
@@ -115,4 +137,4 @@ determinism:
 # check is what CI runs: formatting, vet, the simlint invariant gate,
 # build, the full suite under the race detector, the determinism gates,
 # and the daemon chaos/load gates.
-check: fmt vet lint build race determinism sweep-determinism sweep-interrupt simd-chaos simd-load simd-obs
+check: fmt vet lint build race determinism sweep-determinism sweep-interrupt simd-chaos simd-load simd-obs shard-determinism

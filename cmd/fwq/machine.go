@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mkos/internal/apps"
+	"mkos/internal/cluster"
+	"mkos/internal/shard/shardops"
+	"mkos/internal/sim"
+)
+
+// machineOpts carries the sharded-mode flag values.
+type machineOpts struct {
+	nodes    int
+	minutes  float64
+	workUS   float64
+	seed     int64
+	shards   int
+	worst    int
+	coresPer int
+	perNode  bool
+	outFile  string
+	opsFile  string
+}
+
+// runMachine executes the full-machine sharded FWQ campaign (Sec. 6.3): one
+// digest per node reduced in situ, worst-K selection at the collector, full
+// re-run of the selected nodes. The -out artifact is deterministic — byte
+// identical at any -shards value; wall-clock numbers and the -ops-metrics
+// exposition are the only places the shard count may show.
+func runMachine(ctx context.Context, p *cluster.Platform, kind cluster.OSKind, o machineOpts) {
+	cfg, err := p.MachineFWQ(kind, o.nodes,
+		time.Duration(o.workUS*float64(time.Microsecond)),
+		time.Duration(o.minutes*float64(time.Minute)),
+		o.seed, o.shards, o.worst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if o.coresPer > 0 {
+		for i := range cfg.Classes {
+			if len(cfg.Classes[i].Cores) > o.coresPer {
+				cfg.Classes[i].Cores = cfg.Classes[i].Cores[:o.coresPer]
+			}
+		}
+	}
+	cfg.Cancel = func() bool { return ctx.Err() != nil }
+	rec := shardops.New()
+	cfg.Observer = rec
+
+	start := time.Now()
+	res, sres, err := apps.FWQMachine(cfg)
+	wall := time.Since(start)
+	if errors.Is(err, sim.ErrCanceled) {
+		log.Print("interrupted at a window barrier; no artifact written")
+		os.Exit(130)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("FWQ full-machine on %s/%s: %d nodes, %d shards, quantum %v, duration %v\n",
+		p.Name, kind, res.Nodes, o.shards, cfg.Work, cfg.Duration)
+	fmt.Printf("  wall time         %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("  windows           %d\n", res.Windows)
+	fmt.Printf("  cross-shard msgs  %d of %d\n", sres.Stats.CrossMessages, sres.Stats.Messages)
+	fmt.Printf("  iterations        %d\n", res.Summary.N)
+	fmt.Printf("  Tmin              %v\n", time.Duration(res.Summary.TminNS))
+	fmt.Printf("  Tmax              %v\n", time.Duration(res.Summary.TmaxNS))
+	fmt.Printf("  max noise length  %v\n", time.Duration(res.Summary.MaxNoiseNS))
+	fmt.Printf("  noise rate (Eq.2) %.3g\n", res.Summary.Rate)
+	fmt.Printf("  worst %d nodes (by total noise):\n", len(res.Worst))
+	for i, w := range res.Worst {
+		if i >= 10 && !o.perNode {
+			fmt.Printf("    ... %d more (see -out)\n", len(res.Worst)-i)
+			break
+		}
+		fmt.Printf("    node %6d  total=%v max=%v p99=%v\n",
+			w.Node, time.Duration(w.Digest.TotalNoiseNS),
+			time.Duration(w.Digest.MaxNoiseNS), time.Duration(w.P99NS))
+	}
+
+	if o.outFile != "" {
+		blob, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(o.outFile, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  result written to %s\n", o.outFile)
+	}
+	if o.opsFile != "" {
+		f, err := os.Create(o.opsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteExposition(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ops metrics written to %s\n", o.opsFile)
+	}
+}

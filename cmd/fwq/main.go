@@ -35,6 +35,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	perNode := flag.Bool("per-node", false, "print per-node statistics")
 	ftq := flag.Bool("ftq", false, "run the FTQ (fixed time quanta) variant instead of FWQ")
+	shards := flag.Int("shards", 0, "run the sharded full-machine campaign on this many shards (0 = sequential per-node loop)")
+	worst := flag.Int("worst", 100, "sharded mode: worst nodes re-run with full recording (the paper keeps 100)")
+	coresPer := flag.Int("cores", 0, "sharded mode: measure at most this many cores per node (0 = all app cores)")
+	outFile := flag.String("out", "", "sharded mode: write the deterministic machine result JSON here")
+	opsFile := flag.String("ops-metrics", "", "sharded mode: write runner ops metrics (Prometheus text) here")
 	flag.Parse()
 
 	var p *cluster.Platform
@@ -56,15 +61,23 @@ func main() {
 		log.Fatalf("unknown OS %q", *osName)
 	}
 
+	// Two-stage interrupt handling: the first SIGINT/SIGTERM stops the
+	// per-node loop at the next node boundary (sequential mode) or the
+	// next window barrier (sharded mode); a second force-exits.
+	ctx, stop := sweep.SignalContext(context.Background(), os.Stderr)
+	defer stop()
+	if *shards > 0 {
+		runMachine(ctx, p, kind, machineOpts{
+			nodes: *nodes, minutes: *minutes, workUS: *workUS, seed: *seed,
+			shards: *shards, worst: *worst, coresPer: *coresPer,
+			perNode: *perNode, outFile: *outFile, opsFile: *opsFile,
+		})
+		return
+	}
 	node, err := p.NewNode(kind)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Two-stage interrupt handling: the first SIGINT/SIGTERM stops the
-	// per-node loop at the next node boundary and reports the nodes already
-	// measured; a second force-exits.
-	ctx, stop := sweep.SignalContext(context.Background(), os.Stderr)
-	defer stop()
 	if *ftq {
 		runFTQ(p, kind, node, *workUS, *minutes, *seed)
 		return

@@ -45,6 +45,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump to this file")
 	profilePath := flag.String("profile", "", "write the engine profiler report (host wall times, non-deterministic)")
 	opsTrace := flag.String("ops-trace", "", "write the wall-clock ops flight recorder (Chrome trace JSON) to this file")
+	shards := flag.Int("shards", 4, "shard count for the full-machine FWQ stage (result is shard-count invariant)")
 	flag.Parse()
 
 	if *tracePath != "" {
@@ -91,7 +92,7 @@ func main() {
 	if *quick {
 		t2cfg.Nodes, t2cfg.Duration = 4, time.Minute
 	}
-	fmt.Printf("[1/5] Table 2 (%d nodes, %v FWQ)...\n", t2cfg.Nodes, t2cfg.Duration)
+	fmt.Printf("[1/6] Table 2 (%d nodes, %v FWQ)...\n", t2cfg.Nodes, t2cfg.Duration)
 	t2out := runCampaign(campaigns.Table2(t2cfg, t2cfg.Seed))
 	variants := core.Table2Variants()
 	rows := make([]core.Table2Row, len(variants))
@@ -109,7 +110,7 @@ func main() {
 	})
 
 	// --- Figure 3 (series data is embedded in the Table 2 rows) ---
-	fmt.Printf("[2/5] Figure 3 noise series...\n")
+	fmt.Printf("[2/6] Figure 3 noise series...\n")
 	writeFile(*outdir, "figure3.txt", func(f *os.File) {
 		for _, r := range rows {
 			s := noise.SeriesMicros(r.Lengths)
@@ -129,7 +130,7 @@ func main() {
 		f4cfg.OFPNodes, f4cfg.FugakuFullNodes, f4cfg.Fugaku24Racks = 32, 96, 12
 		f4cfg.Duration = 30 * time.Second
 	}
-	fmt.Printf("[3/5] Figure 4 CDFs (%d/%d/%d nodes)...\n",
+	fmt.Printf("[3/6] Figure 4 CDFs (%d/%d/%d nodes)...\n",
 		f4cfg.OFPNodes, f4cfg.FugakuFullNodes, f4cfg.Fugaku24Racks)
 	f4out := runCampaign(campaigns.Figure4(f4cfg, 1, f4cfg.Seed))
 	curves, err := campaigns.MergeFigure4(f4out, f4cfg, 1)
@@ -150,7 +151,7 @@ func main() {
 	if *quick {
 		seeds = []int64{1}
 	}
-	fmt.Printf("[4/5] application figures...\n")
+	fmt.Printf("[4/6] application figures...\n")
 	specs := append(append(core.Figure5Specs(), core.Figure6Specs()...), core.Figure7Specs()...)
 	if *quick {
 		for i := range specs {
@@ -187,8 +188,11 @@ func main() {
 	// The figure stages above are closed-form; this stage drives the
 	// discrete-event machinery (resilient batch system, syscall delegation)
 	// so the telemetry artifacts carry live sim/cluster/fault/mckernel data.
-	fmt.Printf("[5/5] operational stage (fault recovery + syscall offload)...\n")
+	fmt.Printf("[5/6] operational stage (fault recovery + syscall offload)...\n")
 	runOpsStage(*quick)
+
+	// --- Full-machine sharded FWQ (Sec. 6.3 in-situ selection) ---
+	runMachineStage(ctx, *quick, *shards, *outdir, flushOps)
 
 	// --- Telemetry artifacts ---
 	for _, w := range []struct {

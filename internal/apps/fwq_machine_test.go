@@ -1,0 +1,173 @@
+package apps
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"mkos/internal/noise"
+	"mkos/internal/sim"
+)
+
+// machineTestConfig is a small two-class population: even nodes measure two
+// cores, odd nodes one, so class routing and heterogeneous core sets are
+// both exercised.
+func machineTestConfig(nodes, shards int) FWQMachineConfig {
+	quiet := &noise.Profile{}
+	quiet.MustAdd(&noise.Source{
+		Name: "tick", Cores: []int{0}, Mode: noise.TargetOne,
+		Every: 20 * time.Millisecond, Length: 60 * time.Microsecond, LengthCV: 0.4,
+	})
+	return FWQMachineConfig{
+		Work: 6500 * time.Microsecond, Duration: 2 * time.Second,
+		Nodes: nodes, Seed: 42, Shards: shards, WorstK: 3,
+		Lookahead: 490 * time.Nanosecond,
+		Classes: []FWQClass{
+			{Cores: []int{0, 1}, Profile: noisyProfile()},
+			{Cores: []int{0}, Profile: quiet},
+		},
+		ClassOf: func(n int) int { return n % 2 },
+	}
+}
+
+func TestFWQMachineByteIdenticalAcrossShardCounts(t *testing.T) {
+	const nodes = 12
+	var want []byte
+	for _, shards := range []int{1, 2, 5, 12} {
+		res, sres, err := FWQMachine(machineTestConfig(nodes, shards))
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = blob
+			continue
+		}
+		if string(blob) != string(want) {
+			t.Errorf("%d shards: result differs from sequential\n got: %s\nwant: %s", shards, blob, want)
+		}
+		if shards > 1 && sres.Stats.CrossMessages == 0 {
+			t.Errorf("%d shards: no cross-shard digest traffic", shards)
+		}
+	}
+}
+
+// TestFWQMachineDigestsMatchSequentialSketches pins the sharded run to the
+// pre-existing sequential per-node sketch path: same seeds, same metrics.
+func TestFWQMachineDigestsMatchSequentialSketches(t *testing.T) {
+	const nodes = 8
+	cfg := machineTestConfig(nodes, 4)
+	// Restrict to one class so FWQSketchAcrossNodes (single profile) lines up.
+	cfg.Classes = cfg.Classes[:1]
+	cfg.ClassOf = nil
+	res, _, err := FWQMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sks, err := FWQSketchAcrossNodes(
+		FWQConfig{Work: cfg.Work, Duration: cfg.Duration, Cores: cfg.Classes[0].Cores},
+		profileOnly{cfg.Classes[0].Profile}, nodes, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, sk := range sks {
+		want := digestOf(n, sk.Analysis)
+		if res.Digests[n] != want {
+			t.Errorf("node %d digest = %+v, sequential sketch says %+v", n, res.Digests[n], want)
+		}
+	}
+}
+
+func TestFWQMachineWorstSelection(t *testing.T) {
+	res, _, err := FWQMachine(machineTestConfig(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Worst) != 3 {
+		t.Fatalf("worst list has %d entries, want 3", len(res.Worst))
+	}
+	for i := 1; i < len(res.Worst); i++ {
+		a, b := res.Worst[i-1], res.Worst[i]
+		if a.Digest.TotalNoiseNS < b.Digest.TotalNoiseNS {
+			t.Errorf("worst list not sorted: node %d (%d ns) before node %d (%d ns)",
+				a.Node, a.Digest.TotalNoiseNS, b.Node, b.Digest.TotalNoiseNS)
+		}
+	}
+	for _, w := range res.Worst {
+		if w.Class != w.Node%2 {
+			t.Errorf("node %d carries class %d, want %d", w.Node, w.Class, w.Node%2)
+		}
+		if w.MaxNS != w.Digest.TminNS+w.Digest.MaxNoiseNS {
+			t.Errorf("node %d re-run max %d ns disagrees with digest Tmin+MaxNoise %d ns",
+				w.Node, w.MaxNS, w.Digest.TminNS+w.Digest.MaxNoiseNS)
+		}
+		if w.P50NS > w.P90NS || w.P90NS > w.P99NS || w.P99NS > w.P999NS || w.P999NS > w.MaxNS {
+			t.Errorf("node %d quantiles not monotone: %+v", w.Node, w)
+		}
+	}
+	// The selection must agree with noise.WorstBy over the same totals.
+	as := make([]noise.Analysis, res.Nodes)
+	for n := range as {
+		as[n] = noise.Analysis{Lengths: []time.Duration{time.Duration(res.Digests[n].TotalNoiseNS)}}
+	}
+	for i, idx := range noise.WorstBy(as, 3) {
+		if res.Worst[i].Node != idx {
+			t.Errorf("worst[%d] = node %d, noise.WorstBy says %d", i, res.Worst[i].Node, idx)
+		}
+	}
+}
+
+func TestFWQMachineSummaryMergesDigests(t *testing.T) {
+	res, _, err := FWQMachine(machineTestConfig(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	var total int64
+	for _, d := range res.Digests {
+		n += d.N
+		total += d.TotalNoiseNS
+	}
+	if res.Summary.N != n || res.Summary.TotalNoiseNS != total {
+		t.Errorf("summary %+v does not total the digests (N=%d, total=%d)", res.Summary, n, total)
+	}
+	if res.Summary.MaxNoiseNS != res.Summary.TmaxNS-res.Summary.TminNS {
+		t.Errorf("summary max noise %d != Tmax-Tmin", res.Summary.MaxNoiseNS)
+	}
+}
+
+func TestFWQMachineRejectsBadConfig(t *testing.T) {
+	bad := []FWQMachineConfig{
+		{},
+		{Work: time.Millisecond, Duration: time.Second, Nodes: 4},
+		{Work: time.Millisecond, Duration: time.Second, Nodes: 4, WorstK: -1,
+			Classes: []FWQClass{{Cores: []int{0}, Profile: &noise.Profile{}}}},
+		{Work: time.Millisecond, Duration: time.Second, Nodes: 4,
+			Classes: []FWQClass{{Profile: &noise.Profile{}}}},
+		{Work: time.Millisecond, Duration: time.Second, Nodes: 4,
+			Classes: []FWQClass{{Cores: []int{0}}}},
+	}
+	for i, cfg := range bad {
+		if _, _, err := FWQMachine(cfg); !errors.Is(err, ErrBadMachineConfig) {
+			t.Errorf("config %d: err = %v, want ErrBadMachineConfig", i, err)
+		}
+	}
+	// A class map pointing outside Classes surfaces as a setup error.
+	cfg := machineTestConfig(4, 2)
+	cfg.ClassOf = func(int) int { return 99 }
+	if _, _, err := FWQMachine(cfg); !errors.Is(err, ErrBadMachineConfig) {
+		t.Errorf("out-of-range class: err = %v, want ErrBadMachineConfig", err)
+	}
+}
+
+func TestFWQMachineCancel(t *testing.T) {
+	cfg := machineTestConfig(8, 2)
+	cfg.Cancel = func() bool { return true }
+	if _, _, err := FWQMachine(cfg); !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want sim.ErrCanceled", err)
+	}
+}

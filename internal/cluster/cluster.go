@@ -52,6 +52,17 @@ type Platform struct {
 	// Nil means every node uses NewTopology.
 	TopologyAt func(idx int) *cpu.Topology
 
+	// Tofu is the routed 6-D torus geometry for platforms wired with a Tofu
+	// fabric; nil for platforms modeled by the uniform-hop Fabric alone.
+	Tofu *interconnect.TofuGeometry
+
+	// NodeClass partitions a heterogeneous node population into class ids
+	// [0, NodeClasses) for machine-scale runs that boot one OS model per
+	// class instead of one per node. It must agree with TopologyAt: nodes
+	// of one class share a topology shape. Nil means a single class.
+	NodeClass   func(idx int) int
+	NodeClasses int
+
 	// LWKReserveBytesPerDomain is how much memory IHK detaches per app NUMA
 	// domain when booting McKernel.
 	LWKReserveBytesPerDomain int64
@@ -92,9 +103,22 @@ func Fugaku() *Platform {
 			}
 			return cpu.A64FX(2)
 		},
+		Tofu: &fugakuTofu,
+		// Class 0: the common 50-core node; class 1: the 52-core I/O leader.
+		NodeClass: func(idx int) int {
+			if idx%16 == 0 {
+				return 1
+			}
+			return 0
+		},
+		NodeClasses:              2,
 		LWKReserveBytesPerDomain: 6 << 30,
 	}
 }
+
+// fugakuTofu is the shared 24x23x24 (x2x3x2) TofuD geometry; TofuGeometry is
+// immutable, so one value serves every Fugaku() platform.
+var fugakuTofu = interconnect.FugakuGeometry()
 
 // Node is one compute node with its OS stack booted.
 type Node struct {

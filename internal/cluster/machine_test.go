@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mkos/internal/apps"
+)
+
+// machineCfg builds a small, fast Fugaku machine-FWQ config: short duration
+// and two measured cores per class so the test runs in milliseconds while
+// both node classes stay exercised.
+func machineCfg(t *testing.T, p *Platform, nodes, shards int) apps.FWQMachineConfig {
+	t.Helper()
+	cfg, err := p.MachineFWQ(Linux, nodes, 6500*time.Microsecond, 300*time.Millisecond, 7, shards, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Classes {
+		cfg.Classes[i].Cores = cfg.Classes[i].Cores[:2]
+	}
+	return cfg
+}
+
+func TestMachineFWQFugakuClasses(t *testing.T) {
+	p := Fugaku()
+	cfg, err := p.MachineFWQ(Linux, 32, 0, 0, 1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Work != 6500*time.Microsecond || cfg.Duration != 6*time.Minute {
+		t.Errorf("zero work/duration did not select paper defaults: %v / %v", cfg.Work, cfg.Duration)
+	}
+	if cfg.Lookahead != p.Fabric.MinLatency() {
+		t.Errorf("lookahead %v, want fabric MinLatency %v", cfg.Lookahead, p.Fabric.MinLatency())
+	}
+	if len(cfg.Classes) != 2 {
+		t.Fatalf("32-node Fugaku run has %d classes, want 2", len(cfg.Classes))
+	}
+	// Node 0 is the 52-core I/O leader, node 1 the common 50-core node.
+	// Both expose the same 48 application cores (4 CMGs x 12); the classes
+	// differ in assistant-core count and hence in their noise profiles.
+	lead, common := cfg.ClassOf(0), cfg.ClassOf(1)
+	if lead == common {
+		t.Fatal("I/O leader and common node share a class")
+	}
+	for _, c := range []int{lead, common} {
+		if got := len(cfg.Classes[c].Cores); got != 48 {
+			t.Errorf("class %d has %d app cores, want 48", c, got)
+		}
+	}
+	if cfg.ClassOf(16) != lead || cfg.ClassOf(17) != common {
+		t.Error("class map does not repeat with period 16")
+	}
+}
+
+func TestMachineFWQCompactsAbsentClasses(t *testing.T) {
+	// A 1-node Fugaku run contains only the I/O-leader class; the class
+	// list must compact to it.
+	cfg, err := Fugaku().MachineFWQ(Linux, 1, 0, 0, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Classes) != 1 {
+		t.Fatalf("1-node run has %d classes, want 1", len(cfg.Classes))
+	}
+	if cfg.ClassOf(0) != 0 {
+		t.Errorf("ClassOf(0) = %d, want 0 after compaction", cfg.ClassOf(0))
+	}
+	if got := len(cfg.Classes[0].Cores); got != 48 {
+		t.Errorf("sole class has %d app cores, want 48", got)
+	}
+}
+
+func TestMachineFWQReportLatencyRespectsLookahead(t *testing.T) {
+	p := Fugaku()
+	cfg, err := p.MachineFWQ(Linux, p.MaxNodes, 0, 0, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []int{0, 1, 15, 4242, p.MaxNodes - 1} {
+		d, err := cfg.ReportLatency(src, 0, 64)
+		if err != nil {
+			t.Fatalf("ReportLatency(%d, 0): %v", src, err)
+		}
+		if d < cfg.Lookahead {
+			t.Errorf("ReportLatency(%d, 0) = %v undercuts lookahead %v", src, d, cfg.Lookahead)
+		}
+	}
+	// OFP has no torus geometry: the uniform fallback must still respect
+	// the lookahead bound.
+	ofp := OFP()
+	ocfg, err := ofp.MachineFWQ(Linux, 64, 0, 0, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ocfg.Classes) != 1 {
+		t.Fatalf("OFP run has %d classes, want 1", len(ocfg.Classes))
+	}
+	d, err := ocfg.ReportLatency(63, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < ocfg.Lookahead {
+		t.Errorf("OFP fallback latency %v undercuts lookahead %v", d, ocfg.Lookahead)
+	}
+}
+
+func TestMachineFWQByteIdenticalAcrossShards(t *testing.T) {
+	p := Fugaku()
+	var want []byte
+	for _, shards := range []int{1, 4} {
+		res, _, err := apps.FWQMachine(machineCfg(t, p, 48, shards))
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = blob
+			continue
+		}
+		if string(blob) != string(want) {
+			t.Errorf("%d shards: full-machine artifact differs from sequential", shards)
+		}
+	}
+}

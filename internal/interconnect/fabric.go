@@ -52,6 +52,20 @@ func OmniPath() *Fabric {
 	}
 }
 
+// MinLatency returns a strictly positive lower bound on the latency of any
+// modeled communication between two distinct nodes: every point-to-point
+// transfer, barrier stage, allreduce and halo exchange costs at least the NIC
+// injection latency before the first byte can arrive anywhere else.
+//
+// This bound is the conservative-synchronization lookahead for sharded
+// simulations (internal/shard): a cross-shard interaction initiated at
+// simulated instant t cannot take effect on another node before
+// t + MinLatency, so parallel shards may safely advance through a time
+// window of that width without hearing from each other.
+func (f *Fabric) MinLatency() time.Duration {
+	return f.InjectLatency
+}
+
 // Hops returns the expected hop count between two random nodes among n.
 func (f *Fabric) Hops(n int) int {
 	if n <= 1 {

@@ -1,0 +1,118 @@
+package interconnect
+
+import (
+	"testing"
+	"time"
+)
+
+// MinLatency is the conservative-synchronization lookahead: internal/shard
+// advances parallel time windows of exactly this width on the promise that no
+// modeled communication between distinct nodes completes faster. These tests
+// pin the promise against every latency model the fabric exposes.
+
+func TestMinLatencyPositive(t *testing.T) {
+	for _, f := range []*Fabric{TofuD(), OmniPath()} {
+		if got := f.MinLatency(); got <= 0 {
+			t.Errorf("%s: MinLatency = %v, want > 0", f.Name, got)
+		}
+	}
+}
+
+func TestMinLatencyBoundsEveryModeledHop(t *testing.T) {
+	payloads := []int64{0, 1, 64 << 10, 1 << 20}
+	jobs := []int{2, 16, 8192, 158976}
+	for _, f := range []*Fabric{TofuD(), OmniPath()} {
+		min := f.MinLatency()
+		for _, n := range jobs {
+			for _, b := range payloads {
+				p2p, err := f.PointToPoint(b, n)
+				if err != nil {
+					t.Fatalf("%s: PointToPoint(%d, %d): %v", f.Name, b, n, err)
+				}
+				if p2p < min {
+					t.Errorf("%s: PointToPoint(%d, %d) = %v < MinLatency %v", f.Name, b, n, p2p, min)
+				}
+				ar, err := f.Allreduce(b, n)
+				if err != nil {
+					t.Fatalf("%s: Allreduce(%d, %d): %v", f.Name, b, n, err)
+				}
+				if ar < min {
+					t.Errorf("%s: Allreduce(%d, %d) = %v < MinLatency %v", f.Name, b, n, ar, min)
+				}
+				halo, err := f.HaloExchange(b, 6, n)
+				if err != nil {
+					t.Fatalf("%s: HaloExchange(%d, 6, %d): %v", f.Name, b, n, err)
+				}
+				if halo < min {
+					t.Errorf("%s: HaloExchange(%d, 6, %d) = %v < MinLatency %v", f.Name, b, n, halo, min)
+				}
+			}
+			if bar := f.Barrier(n); bar < min {
+				t.Errorf("%s: Barrier(%d) = %v < MinLatency %v", f.Name, n, bar, min)
+			}
+		}
+	}
+}
+
+func TestTofuMinHopsBoundsRoutedDistances(t *testing.T) {
+	g := TofuGeometry{X: 3, Y: 3, Z: 3}
+	if g.MinHops() < 1 {
+		t.Fatalf("MinHops = %d, want >= 1", g.MinHops())
+	}
+	nodes := g.Nodes()
+	for a := 0; a < nodes; a += 7 {
+		for b := 0; b < nodes; b += 11 {
+			h, err := g.HopsByID(a, b)
+			if err != nil {
+				t.Fatalf("HopsByID(%d, %d): %v", a, b, err)
+			}
+			if a == b {
+				if h != 0 {
+					t.Errorf("HopsByID(%d, %d) = %d, want 0 for self", a, b, h)
+				}
+				continue
+			}
+			if h < g.MinHops() {
+				t.Errorf("HopsByID(%d, %d) = %d < MinHops %d", a, b, h, g.MinHops())
+			}
+		}
+	}
+}
+
+func TestTofuHopLatencyNeverUndercutsMinLatency(t *testing.T) {
+	g := TofuGeometry{X: 2, Y: 2, Z: 2}
+	f := TofuD()
+	for a := 0; a < g.Nodes(); a += 5 {
+		for b := 0; b < g.Nodes(); b += 3 {
+			if a == b {
+				continue
+			}
+			lat, err := g.HopLatency(f, a, b, 64)
+			if err != nil {
+				t.Fatalf("HopLatency(%d, %d): %v", a, b, err)
+			}
+			if lat < f.MinLatency() {
+				t.Errorf("HopLatency(%d, %d) = %v < MinLatency %v", a, b, lat, f.MinLatency())
+			}
+			// One routed hop at minimum: strictly more than injection alone.
+			if lat < f.InjectLatency+f.PerHop {
+				t.Errorf("HopLatency(%d, %d) = %v < inject+hop %v", a, b, lat, f.InjectLatency+f.PerHop)
+			}
+		}
+	}
+	if _, err := g.HopLatency(f, 0, 1, -1); err == nil {
+		t.Error("HopLatency with negative bytes did not fail")
+	}
+	if _, err := g.HopLatency(f, 0, g.Nodes(), 0); err == nil {
+		t.Error("HopLatency with out-of-range node did not fail")
+	}
+	// Zero-byte neighbour transfer is the floor the lookahead leans on.
+	lat, err := g.HopLatency(f, 0, 1, 0)
+	if err != nil {
+		t.Fatalf("HopLatency(0, 1, 0): %v", err)
+	}
+	want := f.InjectLatency + time.Duration(1)*f.PerHop
+	if lat != want {
+		t.Errorf("neighbour zero-byte HopLatency = %v, want %v", lat, want)
+	}
+}

@@ -3,6 +3,7 @@ package interconnect
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // TofuD's six-dimensional mesh/torus. A node address is (X, Y, Z, a, b, c):
@@ -120,6 +121,32 @@ func (g TofuGeometry) Hops(p, q TofuCoord) int {
 		meshDist(p.A, q.A) +
 		torusDist(p.B, q.B, tofuB) +
 		meshDist(p.C, q.C)
+}
+
+// MinHops returns the minimum routing distance between two distinct nodes:
+// one hop. Together with Fabric.MinLatency it anchors the conservative
+// lookahead — even board-pair neighbours (same X/Y/Z, adjacent a/b/c) are at
+// least one link apart, so no modeled Tofu transfer undercuts
+// InjectLatency + MinHops*PerHop... of which MinLatency alone is the safe
+// fabric-agnostic bound.
+func (g TofuGeometry) MinHops() int { return 1 }
+
+// HopLatency returns the dimension-ordered point-to-point latency between
+// two linear node ids for a payload of bytes: injection, the exact routed
+// hop count (not the statistical mean Fabric.Hops uses), and wire time.
+// Full-machine sharded runs use it to give each node's traffic its real
+// topology-dependent latency while the paper's closed-form models keep the
+// averaged view.
+func (g TofuGeometry) HopLatency(f *Fabric, a, b int, bytes int64) (time.Duration, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("%w: %d bytes", ErrBadTransfer, bytes)
+	}
+	hops, err := g.HopsByID(a, b)
+	if err != nil {
+		return 0, err
+	}
+	wire := time.Duration(float64(bytes) / f.Bandwidth * 1e9)
+	return f.InjectLatency + time.Duration(hops)*f.PerHop + wire, nil
 }
 
 // HopsByID routes between linear node ids.

@@ -29,9 +29,10 @@ func All() []*analysis.Analyzer {
 var opsPrefixes = []string{
 	"mkos/internal/sweep",
 	"mkos/internal/lint",
-	"mkos/internal/simd",          // service plumbing: queues, latency histograms, drains
-	"mkos/internal/fault/chaos",   // chaos injectors exist to perturb real time
-	"mkos/internal/telemetry/ops", // the wall-clock flight recorder itself
+	"mkos/internal/simd",           // service plumbing: queues, latency histograms, drains
+	"mkos/internal/fault/chaos",    // chaos injectors exist to perturb real time
+	"mkos/internal/telemetry/ops",  // the wall-clock flight recorder itself
+	"mkos/internal/shard/shardops", // barrier waits and window pacing are host observations; internal/shard itself stays bound
 	"mkos/cmd",
 	"mkos/examples",
 }

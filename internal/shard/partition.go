@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Range is a half-open block of node ids, [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of nodes in the block.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Contains reports whether node n falls inside the block.
+func (r Range) Contains(n int) bool { return n >= r.Lo && n < r.Hi }
+
+// ErrBadPartition reports an impossible shard layout.
+var ErrBadPartition = errors.New("shard: invalid partition")
+
+// Partition splits nodes [0, nodes) into shards contiguous blocks. The first
+// nodes%shards blocks carry one extra node, so block sizes differ by at most
+// one. The layout is a pure function of (nodes, shards) — no host state, no
+// randomness — which is what makes a sharded run's node→shard mapping stable
+// across processes and machines.
+//
+// Contiguity is a determinism requirement, not a convenience: per-node RNG
+// streams derive from a sequential walk of a base generator (one draw per
+// node, see sim.Rand.Skip), so a shard owning the block [Lo, Hi) reproduces
+// exactly the sequential derivation by skipping Lo draws and deriving its own
+// block in order.
+func Partition(nodes, shards int) ([]Range, error) {
+	if nodes < 1 || shards < 1 {
+		return nil, fmt.Errorf("%w: %d nodes over %d shards", ErrBadPartition, nodes, shards)
+	}
+	if shards > nodes {
+		return nil, fmt.Errorf("%w: %d shards exceed %d nodes", ErrBadPartition, shards, nodes)
+	}
+	base, extra := nodes/shards, nodes%shards
+	out := make([]Range, shards)
+	lo := 0
+	for i := range out {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out, nil
+}
+
+// Owner returns the index of the block containing node n, or -1 when n is
+// outside every block. parts must be the sorted, non-overlapping output of
+// Partition.
+func Owner(parts []Range, n int) int {
+	i := sort.Search(len(parts), func(i int) bool { return parts[i].Hi > n })
+	if i < len(parts) && parts[i].Contains(n) {
+		return i
+	}
+	return -1
+}

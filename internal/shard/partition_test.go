@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+)
+
+// The partition is load-bearing for determinism: the node→shard map must be
+// a pure function of (nodes, shards), identical in every process, or two
+// runs of the same campaign could fold telemetry in different shard orders.
+
+func TestPartitionProperties(t *testing.T) {
+	nodeCounts := []int{1, 2, 5, 64, 100, 158976}
+	shardCounts := []int{1, 2, 7, 8, 64}
+	for _, nodes := range nodeCounts {
+		for _, shards := range shardCounts {
+			if shards > nodes {
+				if _, err := Partition(nodes, shards); !errors.Is(err, ErrBadPartition) {
+					t.Errorf("Partition(%d, %d): want ErrBadPartition", nodes, shards)
+				}
+				continue
+			}
+			parts, err := Partition(nodes, shards)
+			if err != nil {
+				t.Fatalf("Partition(%d, %d): %v", nodes, shards, err)
+			}
+			if len(parts) != shards {
+				t.Fatalf("Partition(%d, %d): %d blocks", nodes, shards, len(parts))
+			}
+			// Contiguous cover of [0, nodes), sizes within one of each other.
+			lo, minLen, maxLen := 0, nodes, 0
+			for i, p := range parts {
+				if p.Lo != lo {
+					t.Fatalf("Partition(%d, %d): block %d starts at %d, want %d", nodes, shards, i, p.Lo, lo)
+				}
+				if p.Len() < 1 {
+					t.Fatalf("Partition(%d, %d): empty block %d", nodes, shards, i)
+				}
+				if p.Len() < minLen {
+					minLen = p.Len()
+				}
+				if p.Len() > maxLen {
+					maxLen = p.Len()
+				}
+				lo = p.Hi
+			}
+			if lo != nodes {
+				t.Fatalf("Partition(%d, %d): blocks end at %d, want %d", nodes, shards, lo, nodes)
+			}
+			if maxLen-minLen > 1 {
+				t.Errorf("Partition(%d, %d): block sizes range [%d, %d]", nodes, shards, minLen, maxLen)
+			}
+			// Every node maps to exactly one block, and Owner agrees.
+			for n := 0; n < nodes; n += 1 + nodes/997 {
+				owner := Owner(parts, n)
+				if owner < 0 || !parts[owner].Contains(n) {
+					t.Fatalf("Partition(%d, %d): Owner(%d) = %d", nodes, shards, n, owner)
+				}
+				for i, p := range parts {
+					if i != owner && p.Contains(n) {
+						t.Fatalf("Partition(%d, %d): node %d in blocks %d and %d", nodes, shards, n, owner, i)
+					}
+				}
+			}
+			if Owner(parts, -1) != -1 || Owner(parts, nodes) != -1 {
+				t.Errorf("Partition(%d, %d): Owner accepted out-of-range node", nodes, shards)
+			}
+		}
+	}
+}
+
+// TestPartitionStableGolden pins the exact layout, so any change to the
+// block arithmetic — which would silently re-key every sharded artifact —
+// fails loudly instead of drifting.
+func TestPartitionStableGolden(t *testing.T) {
+	got, err := Partition(158976, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Range{
+		{0, 22711}, {22711, 45422}, {45422, 68133}, {68133, 90844},
+		{90844, 113555}, {113555, 136266}, {136266, 158976},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("block %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPartitionRejectsBadShapes(t *testing.T) {
+	for _, c := range []struct{ nodes, shards int }{{0, 1}, {1, 0}, {-4, 2}, {4, -1}, {3, 4}} {
+		if _, err := Partition(c.nodes, c.shards); !errors.Is(err, ErrBadPartition) {
+			t.Errorf("Partition(%d, %d): want ErrBadPartition, got %v", c.nodes, c.shards, err)
+		}
+	}
+}

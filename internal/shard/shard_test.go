@@ -1,0 +1,310 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mkos/internal/sim"
+)
+
+const testLookahead = 500 * time.Nanosecond
+
+// ringModel exercises every determinism hazard at once: per-node derived
+// RNG streams (via the Skip discipline), multi-round cross-node traffic
+// around a ring, and a non-commutative per-node fold, so any ordering drift
+// between shard counts changes the artifact.
+type ringModel struct {
+	nodes, rounds int
+	seed          int64
+
+	// state and received are indexed by node; each shard touches only its
+	// own block, so there is no cross-goroutine sharing.
+	state    []int64
+	received []int
+}
+
+func newRingModel(nodes, rounds int, seed int64) *ringModel {
+	return &ringModel{nodes: nodes, rounds: rounds, seed: seed,
+		state: make([]int64, nodes), received: make([]int, nodes)}
+}
+
+func mix(acc, v int64) int64 {
+	z := uint64(acc)*0x9E3779B97F4A7C15 + uint64(v)
+	z ^= z >> 29
+	return int64(z)
+}
+
+func (m *ringModel) Setup(s *Shard) error {
+	base := sim.NewRand(m.seed)
+	base.Skip(s.Nodes.Lo)
+	for n := s.Nodes.Lo; n < s.Nodes.Hi; n++ {
+		rng := base.Derive(int64(n))
+		node := n
+		var round func(e *sim.Engine)
+		r := 0
+		round = func(e *sim.Engine) {
+			if r >= m.rounds {
+				return
+			}
+			r++
+			draw := rng.Int63n(1 << 30)
+			m.state[node] = mix(m.state[node], draw)
+			jitter := sim.Duration(rng.Int63n(int64(testLookahead)))
+			at := e.Now().Add(sim.Duration(testLookahead) + jitter)
+			s.Send(node, (node+1)%m.nodes, at, "ring", draw)
+			e.ScheduleAt(at.Add(time.Microsecond), "next-round", round)
+		}
+		s.Engine.ScheduleAt(sim.Time(n%5)*sim.Time(time.Microsecond), "kickoff", round)
+	}
+	return nil
+}
+
+func (m *ringModel) Deliver(s *Shard, msg Message) {
+	m.received[msg.Dst]++
+	m.state[msg.Dst] = mix(m.state[msg.Dst], msg.Payload.(int64)+int64(msg.Src))
+}
+
+// artifact is the byte-compared result of one ring run. Windows is included
+// deliberately: the window schedule is specified to be shard-count
+// invariant, and this is where that promise is enforced.
+type artifact struct {
+	State    []int64
+	Received []int
+	Windows  int
+	Messages int64
+	Sent     int64 // the model's counter, via the folded registry
+}
+
+func runRing(t *testing.T, nodes, rounds, shards int) ([]byte, *Result) {
+	t.Helper()
+	m := newRingModel(nodes, rounds, 12345)
+	res, err := Run(Config{Nodes: nodes, Shards: shards, Lookahead: testLookahead}, m)
+	if err != nil {
+		t.Fatalf("Run with %d shards: %v", shards, err)
+	}
+	blob, err := json.Marshal(artifact{
+		State: m.state, Received: m.received,
+		Windows: res.Stats.Windows, Messages: res.Stats.Messages,
+		Sent: res.Registry.Counter("shard.sent").Value(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, res
+}
+
+func TestByteIdenticalAtAnyShardCount(t *testing.T) {
+	const nodes, rounds = 64, 6
+	want, seq := runRing(t, nodes, rounds, 1)
+	if seq.Stats.Messages != int64(nodes*rounds) {
+		t.Fatalf("sequential run sent %d messages, want %d", seq.Stats.Messages, nodes*rounds)
+	}
+	if seq.Stats.CrossMessages != 0 {
+		t.Fatalf("1-shard run reported %d cross-shard messages", seq.Stats.CrossMessages)
+	}
+	for _, shards := range []int{2, 7, 8, 64} {
+		got, res := runRing(t, nodes, rounds, shards)
+		if string(got) != string(want) {
+			t.Errorf("%d shards: artifact differs from sequential\n got: %s\nwant: %s", shards, got, want)
+		}
+		if res.Stats.CrossMessages == 0 {
+			t.Errorf("%d shards: no cross-shard traffic — the test is not exercising the exchange", shards)
+		}
+		if res.Stats.CrossMessages > res.Stats.Messages {
+			t.Errorf("%d shards: cross %d exceeds total %d", shards, res.Stats.CrossMessages, res.Stats.Messages)
+		}
+	}
+}
+
+// hubModel makes every node message one collector at the same instant, so
+// the delivery order is decided purely by the canonical (At, Src, emission)
+// fold — the exact tie the sorted-key discipline exists to break.
+type hubModel struct {
+	nodes int
+	order []int // collector's arrival log, appended on shard 0's goroutine
+}
+
+func (m *hubModel) Setup(s *Shard) error {
+	for n := s.Nodes.Lo; n < s.Nodes.Hi; n++ {
+		node := n
+		s.Engine.ScheduleAt(0, "emit", func(e *sim.Engine) {
+			// Two emissions per node at one instant: the second must stay
+			// after the first (emission-index tiebreak).
+			s.Send(node, 0, sim.Time(time.Millisecond), "hub", node*2)
+			s.Send(node, 0, sim.Time(time.Millisecond), "hub", node*2+1)
+		})
+	}
+	return nil
+}
+
+func (m *hubModel) Deliver(s *Shard, msg Message) {
+	m.order = append(m.order, msg.Payload.(int))
+}
+
+func TestCanonicalFoldBreaksSimultaneousTies(t *testing.T) {
+	const nodes = 23
+	var want []int
+	for n := 0; n < nodes; n++ {
+		want = append(want, n*2, n*2+1)
+	}
+	for _, shards := range []int{1, 4, 23} {
+		m := &hubModel{nodes: nodes}
+		if _, err := Run(Config{Nodes: nodes, Shards: shards, Lookahead: testLookahead}, m); err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if fmt.Sprint(m.order) != fmt.Sprint(want) {
+			t.Errorf("%d shards: arrival order %v, want %v", shards, m.order, want)
+		}
+	}
+}
+
+// faultyModel panics inside a window on one node.
+type faultyModel struct{ bad int }
+
+func (m *faultyModel) Setup(s *Shard) error {
+	for n := s.Nodes.Lo; n < s.Nodes.Hi; n++ {
+		node := n
+		s.Engine.ScheduleAt(sim.Time(node)*10, "work", func(e *sim.Engine) {
+			if node == m.bad {
+				panic("node melted")
+			}
+		})
+	}
+	return nil
+}
+
+func (m *faultyModel) Deliver(*Shard, Message) {}
+
+func TestModelPanicBecomesShardError(t *testing.T) {
+	_, err := Run(Config{Nodes: 16, Shards: 4, Lookahead: testLookahead}, &faultyModel{bad: 9})
+	if err == nil {
+		t.Fatal("Run returned nil for a panicking model")
+	}
+	if !strings.Contains(err.Error(), "node melted") {
+		t.Fatalf("error does not carry the panic: %v", err)
+	}
+	if !strings.Contains(err.Error(), "shard 2") {
+		t.Fatalf("error does not name the failing shard: %v", err)
+	}
+}
+
+// shortSender violates the lookahead on its first event.
+type shortSender struct{}
+
+func (shortSender) Setup(s *Shard) error {
+	s.Engine.ScheduleAt(0, "bad-send", func(e *sim.Engine) {
+		s.Send(s.Nodes.Lo, 0, e.Now(), "too-soon", nil)
+	})
+	return nil
+}
+
+func (shortSender) Deliver(*Shard, Message) {}
+
+func TestSendUndercuttingLookaheadFailsLoudly(t *testing.T) {
+	_, err := Run(Config{Nodes: 8, Shards: 2, Lookahead: testLookahead}, shortSender{})
+	if !errors.Is(err, ErrShortSend) {
+		t.Fatalf("Run: %v, want ErrShortSend", err)
+	}
+}
+
+// setupFailModel fails Setup on shard 1.
+type setupFailModel struct{}
+
+var errSetup = errors.New("boom at setup")
+
+func (setupFailModel) Setup(s *Shard) error {
+	if s.Index == 1 {
+		return errSetup
+	}
+	s.Engine.ScheduleAt(0, "tick", func(*sim.Engine) {})
+	return nil
+}
+
+func (setupFailModel) Deliver(*Shard, Message) {}
+
+func TestSetupErrorAbortsRunWithoutDeadlock(t *testing.T) {
+	_, err := Run(Config{Nodes: 12, Shards: 3, Lookahead: testLookahead}, setupFailModel{})
+	if !errors.Is(err, errSetup) {
+		t.Fatalf("Run: %v, want setup error", err)
+	}
+}
+
+func TestCancelStopsTheRun(t *testing.T) {
+	m := newRingModel(32, 1000, 7)
+	_, err := Run(Config{
+		Nodes: 32, Shards: 4, Lookahead: testLookahead,
+		Cancel: func() bool { return true },
+	}, m)
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("Run: %v, want sim.ErrCanceled", err)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := Run(Config{Nodes: 4, Shards: 2, Lookahead: 0}, shortSender{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero lookahead: %v, want ErrBadConfig", err)
+	}
+	if _, err := Run(Config{Nodes: 2, Shards: 4, Lookahead: testLookahead}, shortSender{}); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("too many shards: %v, want ErrBadPartition", err)
+	}
+}
+
+// observerLog verifies the ops callbacks arrive and windows are announced in
+// order; detailed wall-side behavior lives in shardops.
+type observerLog struct {
+	mu       chan struct{} // 1-token mutex usable from multiple goroutines
+	windows  []int
+	done     int
+	exchange int
+}
+
+func newObserverLog() *observerLog {
+	o := &observerLog{mu: make(chan struct{}, 1)}
+	o.mu <- struct{}{}
+	return o
+}
+
+func (o *observerLog) WindowStart(w int, until sim.Time) {
+	<-o.mu
+	o.windows = append(o.windows, w)
+	o.mu <- struct{}{}
+}
+
+func (o *observerLog) ShardDone(s, w int) {
+	<-o.mu
+	o.done++
+	o.mu <- struct{}{}
+}
+
+func (o *observerLog) Exchanged(cross, n int) {
+	<-o.mu
+	o.exchange++
+	o.mu <- struct{}{}
+}
+
+func TestObserverSeesEveryWindow(t *testing.T) {
+	obs := newObserverLog()
+	m := newRingModel(16, 3, 99)
+	res, err := Run(Config{Nodes: 16, Shards: 4, Lookahead: testLookahead, Observer: obs}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.windows) != res.Stats.Windows {
+		t.Errorf("observer saw %d windows, stats say %d", len(obs.windows), res.Stats.Windows)
+	}
+	for i, w := range obs.windows {
+		if w != i {
+			t.Fatalf("window announcements out of order: %v", obs.windows)
+		}
+	}
+	if obs.done != res.Stats.Windows*4 {
+		t.Errorf("ShardDone fired %d times, want %d", obs.done, res.Stats.Windows*4)
+	}
+	if obs.exchange != res.Stats.Windows+1 {
+		t.Errorf("Exchanged fired %d times, want %d (windows+setup)", obs.exchange, res.Stats.Windows+1)
+	}
+}

@@ -1,0 +1,74 @@
+package shardops
+
+import (
+	"strings"
+	"testing"
+
+	"mkos/internal/shard"
+	"mkos/internal/sim"
+)
+
+// driveModel is a minimal cross-shard workload: each node pings its
+// neighbour once so every barrier carries traffic.
+type driveModel struct{ nodes int }
+
+func (m driveModel) Setup(s *shard.Shard) error {
+	for n := s.Nodes.Lo; n < s.Nodes.Hi; n++ {
+		node := n
+		s.Engine.ScheduleAt(0, "ping", func(e *sim.Engine) {
+			s.Send(node, (node+1)%m.nodes, e.Now().Add(s.Lookahead()), "ping", nil)
+		})
+	}
+	return nil
+}
+
+func (driveModel) Deliver(*shard.Shard, shard.Message) {}
+
+func TestRecorderObservesARun(t *testing.T) {
+	rec := New()
+	res, err := shard.Run(shard.Config{
+		Nodes: 16, Shards: 4, Lookahead: 100 * sim.Nanosecond, Observer: rec,
+	}, driveModel{nodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Registry().Counter("shardops.windows").Value(); got != int64(res.Stats.Windows) {
+		t.Errorf("shardops.windows = %d, stats say %d", got, res.Stats.Windows)
+	}
+	if got := rec.Registry().Counter("shardops.messages").Value(); got != res.Stats.Messages {
+		t.Errorf("shardops.messages = %d, stats say %d", got, res.Stats.Messages)
+	}
+	if got := rec.Registry().Counter("shardops.cross_messages").Value(); got != res.Stats.CrossMessages {
+		t.Errorf("shardops.cross_messages = %d, stats say %d", got, res.Stats.CrossMessages)
+	}
+	var b strings.Builder
+	if err := rec.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"shardops_windows", "shardops_messages", "shardops_barrier_wait_us"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestBarrierWaitSettles drives the observer interface directly: two shards
+// enter the barrier, the next window release must record both waits.
+func TestBarrierWaitSettles(t *testing.T) {
+	rec := New()
+	rec.ShardDone(0, 0)
+	rec.ShardDone(1, 0)
+	rec.WindowStart(1, sim.Time(sim.Second))
+	snap := rec.Registry().Snapshot()
+	h, ok := snap.Histograms["shardops.barrier_wait_us"]
+	if !ok {
+		t.Fatal("no barrier wait histogram")
+	}
+	if h.N != 2 {
+		t.Fatalf("barrier waits recorded = %d, want 2", h.N)
+	}
+	if len(rec.doneAt) != 0 {
+		t.Fatalf("doneAt not drained: %d entries", len(rec.doneAt))
+	}
+}

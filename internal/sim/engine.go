@@ -96,6 +96,13 @@ type Engine struct {
 	budgetLimit uint64 // absolute fired-count ceiling; 0 = unlimited
 	cancelHook  func() bool
 	cancelEvery uint64
+
+	// interruptedErr remembers that the last Run/RunUntil/RunFor returned an
+	// interruption (budget or cancel). While set, ScheduleAt refuses new work
+	// with a typed panic: an interrupted engine holds a partial event stream,
+	// and silently growing it would produce a simulation state no clean run
+	// can reproduce. See ClearInterrupted.
+	interruptedErr error
 }
 
 // NewEngine returns an engine with its clock at zero.
@@ -116,6 +123,17 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // capacity-planning number for the event heap.
 func (e *Engine) QueueHighWater() int { return e.maxQueue }
 
+// NextAt returns the instant of the earliest pending event. The second
+// result is false when the queue is empty. Conservative parallel runners
+// use it to compute the global lower bound on future activity without
+// disturbing the queue.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].At, true
+}
+
 // SetObserver installs (or clears, with nil) the dispatch observer. With an
 // observer attached the engine measures per-handler host wall time and labels
 // unnamed events by their scheduling callsite's subsystem.
@@ -134,6 +152,26 @@ var ErrEventBudget = errors.New("sim: event budget exhausted")
 // hook reports cancellation: an external abort (trial timeout, SIGINT)
 // stopped the run.
 var ErrCanceled = errors.New("sim: run canceled")
+
+// ErrScheduleAfterInterrupt is the typed panic value (wrapped) raised by
+// ScheduleAt/Schedule when new events are scheduled on an engine whose last
+// run returned ErrEventBudget or ErrCanceled. An interrupted engine's queue
+// is a partial snapshot — growing it silently would let a torn-down shard or
+// an abandoned trial keep mutating state that no clean run reproduces, so
+// the engine fails loudly instead. Callers that intend to resume must call
+// ClearInterrupted first.
+var ErrScheduleAfterInterrupt = errors.New("sim: schedule on interrupted engine")
+
+// Interrupted returns the interruption error of the last run (wrapping
+// ErrEventBudget or ErrCanceled), or nil if the engine is runnable.
+func (e *Engine) Interrupted() error { return e.interruptedErr }
+
+// ClearInterrupted re-arms an interrupted engine: scheduling is allowed
+// again and the next Run picks up from the preserved queue. This is the
+// deliberate resume path — e.g. granting a new event budget after
+// inspection — as opposed to accidental scheduling during teardown, which
+// the ErrScheduleAfterInterrupt panic exists to catch.
+func (e *Engine) ClearInterrupted() { e.interruptedErr = nil }
 
 // defaultCancelPoll is how many fired events pass between cancel-hook polls
 // when the caller does not choose a cadence.
@@ -203,10 +241,12 @@ func (e *Engine) SetWallDeadline(d time.Duration, pollEvery int) {
 // wrap their typed sentinel and carry the stop instant.
 func (e *Engine) interrupted() error {
 	if e.budgetLimit != 0 && e.fired >= e.budgetLimit {
-		return fmt.Errorf("%w: %d events fired, stopped at %v", ErrEventBudget, e.fired, e.now)
+		e.interruptedErr = fmt.Errorf("%w: %d events fired, stopped at %v", ErrEventBudget, e.fired, e.now)
+		return e.interruptedErr
 	}
 	if e.cancelHook != nil && e.fired%e.cancelEvery == 0 && e.cancelHook() {
-		return fmt.Errorf("%w: %d events fired, stopped at %v", ErrCanceled, e.fired, e.now)
+		e.interruptedErr = fmt.Errorf("%w: %d events fired, stopped at %v", ErrCanceled, e.fired, e.now)
+		return e.interruptedErr
 	}
 	return nil
 }
@@ -214,6 +254,10 @@ func (e *Engine) interrupted() error {
 // ScheduleAt enqueues fn to run at instant at. It panics if at precedes the
 // current clock, because silently reordering the past would corrupt a model.
 func (e *Engine) ScheduleAt(at Time, name string, fn func(*Engine)) *Event {
+	if e.interruptedErr != nil {
+		panic(fmt.Errorf("%w: at=%v (%s) after %v; call ClearInterrupted to resume deliberately",
+			ErrScheduleAfterInterrupt, at, name, e.interruptedErr))
+	}
 	if at < e.now {
 		panic(fmt.Errorf("%w: now=%v at=%v (%s)", ErrPastEvent, e.now, at, name))
 	}
@@ -302,8 +346,12 @@ func (e *Engine) Step() bool {
 // Run executes events until the queue drains or Stop is called. It returns
 // nil on a clean drain or Stop, ErrEventBudget when the event budget ran out,
 // and ErrCanceled when the cancel hook fired; on error the clock holds at the
-// last dispatched event and undispatched events remain queued.
+// last dispatched event and undispatched events remain queued. While the
+// interruption error stands, scheduling panics (ErrScheduleAfterInterrupt);
+// calling a run loop again is itself a deliberate resume and re-arms the
+// engine.
 func (e *Engine) Run() error {
+	e.interruptedErr = nil
 	e.stopped = false
 	for !e.stopped {
 		if len(e.queue) == 0 {
@@ -323,6 +371,7 @@ func (e *Engine) Run() error {
 // clock is NOT advanced to the deadline: it holds at the last dispatched
 // event, so callers can see exactly how far the simulation got.
 func (e *Engine) RunUntil(deadline Time) error {
+	e.interruptedErr = nil
 	e.stopped = false
 	for !e.stopped {
 		if len(e.queue) == 0 || e.queue[0].At > deadline {

@@ -257,6 +257,9 @@ func TestEngineEventBudget(t *testing.T) {
 		t.Fatalf("fired %d events after resume, want 150", e.Fired())
 	}
 	// Disarming the guard is possible too — give the model a real stop.
+	// Scheduling on an interrupted engine panics (ErrScheduleAfterInterrupt),
+	// so the resume must be declared first.
+	e.ClearInterrupted()
 	e.SetEventBudget(0)
 	e.Schedule(0, "halt", func(en *Engine) { en.Stop() })
 	if err := e.Run(); err != nil {
@@ -308,7 +311,10 @@ func TestEngineCancelHook(t *testing.T) {
 	if e.Pending() != 1 {
 		t.Fatalf("pending = %d, want 1", e.Pending())
 	}
-	// Clearing the hook lets the run resume; give it a stop condition.
+	// Clearing the hook lets the run resume; the resume must be declared
+	// (scheduling on an interrupted engine panics), then give the model a
+	// stop condition.
+	e.ClearInterrupted()
 	e.SetCancelHook(nil, 0)
 	e.Schedule(0, "halt", func(en *Engine) { en.Stop() })
 	if err := e.Run(); err != nil {

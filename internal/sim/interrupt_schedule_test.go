@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// An engine whose run was interrupted holds a partial event stream; silently
+// accepting new events would let teardown code corrupt it. The regression
+// below pins the loud-failure contract: ScheduleAt panics with
+// ErrScheduleAfterInterrupt after an interrupted run, ClearInterrupted (or a
+// deliberate re-run) re-arms the engine.
+
+func mustPanicScheduleAfterInterrupt(t *testing.T, e *Engine) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("ScheduleAt after interrupted run did not panic")
+		}
+		err, ok := p.(error)
+		if !ok || !errors.Is(err, ErrScheduleAfterInterrupt) {
+			t.Fatalf("panic %v, want ErrScheduleAfterInterrupt", p)
+		}
+	}()
+	e.ScheduleAt(e.Now(), "after-interrupt", nil)
+}
+
+func TestScheduleAfterBudgetInterruptPanics(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.ScheduleAt(Time(i), "tick", func(*Engine) {})
+	}
+	e.SetEventBudget(3)
+	err := e.Run()
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("Run: %v, want ErrEventBudget", err)
+	}
+	if e.Interrupted() == nil {
+		t.Fatal("Interrupted() nil after budget exhaustion")
+	}
+	mustPanicScheduleAfterInterrupt(t, e)
+
+	// ClearInterrupted re-arms scheduling and the preserved queue resumes.
+	e.ClearInterrupted()
+	if e.Interrupted() != nil {
+		t.Fatal("Interrupted() set after ClearInterrupted")
+	}
+	e.ScheduleAt(Time(20), "resumed", func(*Engine) {})
+	e.SetEventBudget(0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if got := e.Fired(); got != 11 {
+		t.Fatalf("fired %d events, want 11", got)
+	}
+}
+
+func TestScheduleAfterCancelInterruptPanics(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.ScheduleAt(Time(i), "tick", func(*Engine) {})
+	}
+	canceled := false
+	e.SetCancelHook(func() bool { return canceled }, 1)
+	canceled = true
+	err := e.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run: %v, want ErrCanceled", err)
+	}
+	mustPanicScheduleAfterInterrupt(t, e)
+
+	// Calling a run loop again is itself a deliberate resume: the
+	// interruption state clears at entry.
+	canceled = false
+	if err := e.Run(); err != nil {
+		t.Fatalf("re-run after cancel: %v", err)
+	}
+	e.ScheduleAt(e.Now(), "after-clean-run", func(*Engine) {})
+	if err := e.Run(); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt reported an event on an empty queue")
+	}
+	e.ScheduleAt(7, "b", nil)
+	e.ScheduleAt(3, "a", nil)
+	at, ok := e.NextAt()
+	if !ok || at != 3 {
+		t.Fatalf("NextAt = %v,%v, want 3,true", at, ok)
+	}
+	if !e.Step() {
+		t.Fatal("Step failed")
+	}
+	at, ok = e.NextAt()
+	if !ok || at != 7 {
+		t.Fatalf("NextAt after step = %v,%v, want 7,true", at, ok)
+	}
+}
+
+func TestRandSkipMatchesSequentialDerive(t *testing.T) {
+	const seed, nodes = 99, 64
+	// Sequential derivation: one Derive per node from a single base.
+	seq := NewRand(seed)
+	want := make([]float64, nodes)
+	for n := 0; n < nodes; n++ {
+		want[n] = seq.Derive(int64(n)).Float64()
+	}
+	// Block derivation: each block skips to its offset first.
+	for _, lo := range []int{0, 1, 7, 32, 63} {
+		base := NewRand(seed)
+		base.Skip(lo)
+		for n := lo; n < nodes; n++ {
+			if got := base.Derive(int64(n)).Float64(); got != want[n] {
+				t.Fatalf("block starting at %d: node %d draw %v, want %v", lo, n, got, want[n])
+			}
+		}
+	}
+}

@@ -23,13 +23,37 @@ func NewRand(seed int64) *Rand {
 // what lets subset experiments (e.g. 24 racks of Fugaku) compose with
 // full-scale ones.
 func (r *Rand) Derive(stream int64) *Rand {
+	return NewRand(r.DeriveSeed(stream))
+}
+
+// DeriveSeed consumes one parent draw and returns the seed Derive would use
+// for the sub-stream, without building the generator. Machine-scale runs
+// derive one stream per node; storing the int64 seed instead of a *Rand
+// keeps 158,976 node streams at 8 bytes each.
+func (r *Rand) DeriveSeed(stream int64) int64 {
 	// SplitMix64-style mix of the parent's next value with the stream id so
 	// adjacent ids do not produce correlated sequences.
 	z := uint64(r.src.Int63()) ^ (uint64(stream) * 0x9E3779B97F4A7C15)
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	return NewRand(int64(z))
+	return int64(z)
+}
+
+// Skip discards n draws from the generator, advancing it exactly as n
+// Derive calls would. Each Derive consumes one value from the parent, so a
+// worker that owns the contiguous node block [lo, hi) of a partitioned run
+// reproduces the sequential derivation with
+//
+//	base := NewRand(seed)
+//	base.Skip(lo)
+//	for n := lo; n < hi; n++ { use base.Derive(int64(n)) }
+//
+// which is what keeps sharded runs byte-identical to sequential ones.
+func (r *Rand) Skip(n int) {
+	for i := 0; i < n; i++ {
+		r.src.Int63()
+	}
 }
 
 // DeriveNamed derives a sub-stream keyed by a string label.

@@ -1,0 +1,74 @@
+#!/bin/sh
+# bench-shard.sh — records the full-machine sharded FWQ campaign into
+# results/BENCH_shard.json: a 158,976-node Fugaku run (every node a
+# discrete event, digests reduced in situ, worst nodes re-run in full) at
+# -shards 1 and -shards 8, with wall time, speedup, and the runner's
+# overhead counters (windows, cross-shard messages, barrier wait). The two
+# runs' deterministic artifacts are byte-compared as a side effect.
+#
+# Usage: scripts/bench-shard.sh [WORKDIR]
+#   NODES=158976 MINUTES=0.1 WORST=100 OUT=results/BENCH_shard.json
+set -eu
+
+WORK=${1:-/tmp/mkos-bench-shard}
+GO=${GO:-go}
+NODES=${NODES:-158976}
+MINUTES=${MINUTES:-0.1}
+WORST=${WORST:-100}
+OUT=${OUT:-results/BENCH_shard.json}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+$GO build -o "$WORK/fwq" ./cmd/fwq
+
+ops_val() { sed -n "s/^$2 \(.*\)$/\1/p" "$WORK/ops-s$1.txt"; }
+
+for s in 1 8; do
+  echo "full-machine FWQ: $NODES nodes, $MINUTES min, -shards $s..."
+  t0=$(date +%s.%N)
+  "$WORK/fwq" -shards "$s" -nodes "$NODES" -minutes "$MINUTES" -worst "$WORST" \
+    -out "$WORK/machine-s$s.json" -ops-metrics "$WORK/ops-s$s.txt" \
+    > "$WORK/stdout-s$s.txt"
+  t1=$(date +%s.%N)
+  eval "WALL$s=\$(awk \"BEGIN { printf \\\"%.2f\\\", $t1 - $t0 }\")"
+done
+
+cmp "$WORK/machine-s1.json" "$WORK/machine-s8.json"
+
+WINDOWS=$(ops_val 8 shardops_windows_total)
+CROSS=$(ops_val 8 shardops_cross_messages_total)
+MSGS=$(ops_val 8 shardops_messages_total)
+BARRIER_US=$(ops_val 8 shardops_barrier_wait_us_sum)
+SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $WALL1 / $WALL8 }")
+ITERS=$(sed -n 's/^ *"n": \([0-9]*\),$/\1/p' "$WORK/machine-s1.json" | head -n 1)
+
+mkdir -p "$(dirname "$OUT")"
+cat > "$OUT" <<EOF
+{
+  "note": "cmd/fwq sharded full-machine campaign on the Fugaku preset: one digest event per node, in-situ worst-$WORST selection at the collector, full re-run of the selected nodes. The -shards 1 and -shards 8 artifacts are byte-compared by this script (and by 'make shard-determinism' / CI on every push). Wall-clock speedup tracks min(shards, cores); on a single-core host the 8-shard run only adds barrier overhead. Regenerate with 'make bench-shard'.",
+  "recorded": "$(date -u +%Y-%m-%d)",
+  "host": {
+    "goos": "$($GO env GOOS)",
+    "goarch": "$($GO env GOARCH)",
+    "cores": $(getconf _NPROCESSORS_ONLN),
+    "go": "$($GO env GOVERSION)"
+  },
+  "config": {
+    "platform": "fugaku",
+    "nodes": $NODES,
+    "fwq_minutes": $MINUTES,
+    "work_us": 6500,
+    "worst_rerun": $WORST,
+    "total_iterations": $ITERS
+  },
+  "runs": [
+    {"shards": 1, "wall_s": $WALL1},
+    {"shards": 8, "wall_s": $WALL8, "windows": $WINDOWS,
+     "cross_messages": $CROSS, "messages": $MSGS,
+     "barrier_wait_us_total": $BARRIER_US}
+  ],
+  "speedup_s8_over_s1": $SPEEDUP,
+  "determinism": "machine-s1.json byte-identical to machine-s8.json"
+}
+EOF
+echo "wrote $OUT (s1 ${WALL1}s, s8 ${WALL8}s, speedup ${SPEEDUP}x, $CROSS cross-shard messages)"
