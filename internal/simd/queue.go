@@ -55,13 +55,32 @@ func (q *fairQueue) push(client string, c *campaign) error {
 	if len(q.backlog[client]) >= q.perClient {
 		return errClientBacklog
 	}
+	q.enqueueLocked(client, c)
+	return nil
+}
+
+// pushRecovered enqueues a campaign recovered from the store, bypassing the
+// admission bounds: recovered work was admitted by a previous incarnation, so
+// re-gating it on restart would permanently fail campaigns the daemon promised
+// to resume — a client at its backlog limit with work running at crash time
+// legitimately exceeds the queued bounds.
+func (q *fairQueue) pushRecovered(client string, c *campaign) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	q.enqueueLocked(client, c)
+	return nil
+}
+
+func (q *fairQueue) enqueueLocked(client string, c *campaign) {
 	if len(q.backlog[client]) == 0 {
 		q.ring = append(q.ring, client)
 	}
 	q.backlog[client] = append(q.backlog[client], c)
 	q.depth++
 	q.cond.Signal()
-	return nil
 }
 
 // pop blocks for the next campaign in round-robin client order. It returns

@@ -171,7 +171,10 @@ func (s *Server) recover() error {
 		c.st.Executed, c.st.Cached, c.st.Failed, c.st.Err = 0, 0, 0, ""
 		c.span, c.waitSpan = s.openSpans(context.Background(), sc.id, "recovered")
 		s.camps[sc.id] = c
-		if qerr := s.queue.push(c.st.Client, c); qerr != nil {
+		// Recovered work bypasses the admission bounds: it was admitted by a
+		// previous incarnation, and a client at its backlog limit with work
+		// running at crash time legitimately exceeds them on requeue.
+		if qerr := s.queue.pushRecovered(c.st.Client, c); qerr != nil {
 			c.st.State = StateFailed
 			c.st.Err = fmt.Sprintf("recovery requeue: %v", qerr)
 			s.store.putStatus(sc.id, &c.st)
@@ -264,12 +267,19 @@ func (s *Server) runCampaign(c *campaign) {
 	defer cancel()
 	s.mu.Lock()
 	c.cancel = cancel
+	preCanceled := c.cancelReq
 	c.st.State = StateRunning
 	c.runStart = time.Now()
 	st := c.st
 	span, waitSpan := c.span, c.waitSpan
 	s.mu.Unlock()
 	waitSpan.End()
+	if preCanceled {
+		// A cancel accepted between the dispatcher's pop and this point found
+		// c.cancel still nil; honor it now so the 202 the operator already
+		// holds is not lost and the sweep does not run to completion.
+		cancel()
+	}
 	if !s.hardKill.Load() {
 		s.store.putStatus(c.id, &st)
 	}
@@ -375,7 +385,10 @@ func (s *Server) settle(c *campaign, state string, o *sweep.Outcome, errMsg stri
 	}
 	st := c.st
 	elapsed := time.Since(c.submitted)
-	span := c.span
+	// End the span before the state change is observable (the mu release): a
+	// client that polls the status to a terminal state and immediately
+	// fetches the trace must find the campaign span in it.
+	c.span.End(ops.Arg{Key: "state", Val: state})
 	s.mu.Unlock()
 	if !s.hardKill.Load() {
 		s.store.putStatus(c.id, &st)
@@ -386,7 +399,6 @@ func (s *Server) settle(c *campaign, state string, o *sweep.Outcome, errMsg stri
 	}
 	s.observe(c.id, state)
 	s.publishState(c.id, state, errMsg)
-	span.End(ops.Arg{Key: "state", Val: state})
 	if st.Terminal() {
 		s.events.closeLog(c.id)
 	}
@@ -633,11 +645,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// respond after both.
 	if err := s.store.admit(id, canon, &st); err != nil {
 		s.forget(id)
+		s.store.remove(id)
+		c.waitSpan.End(ops.Arg{Key: "outcome", Val: "rejected"})
+		c.span.End(ops.Arg{Key: "state", Val: "rejected"})
 		reject(w, http.StatusInternalServerError, "store_error", err.Error(), 0)
 		return
 	}
 	if err := s.queue.push(client, c); err != nil {
+		// The spec and queued status persisted just above must not outlive
+		// the rejection: recovery would otherwise resurrect and run a
+		// campaign whose client was explicitly refused.
 		s.forget(id)
+		s.store.remove(id)
+		c.waitSpan.End(ops.Arg{Key: "outcome", Val: "rejected"})
+		c.span.End(ops.Arg{Key: "state", Val: "rejected"})
 		switch {
 		case errors.Is(err, errQueueFull):
 			s.ops.Counter("simd.rejected.queue_full").Inc()
@@ -679,7 +700,10 @@ func (s *Server) requeueBusy(w http.ResponseWriter, r *http.Request, c *campaign
 		s.mu.Lock()
 		c.busy = true
 		c.st.State = StateFailed
+		span, waitSpan := c.span, c.waitSpan
 		s.mu.Unlock()
+		waitSpan.End(ops.Arg{Key: "outcome", Val: "rejected"})
+		span.End(ops.Arg{Key: "state", Val: StateFailed})
 		reject(w, http.StatusConflict, ReasonJournalBusy,
 			"campaign journal was held by another daemon and the retry could not be queued", time.Second)
 		return
@@ -783,7 +807,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		if s.queue.remove(id) {
 			c.st.State = StateCanceled
 			st := c.st
-			span, waitSpan := c.span, c.waitSpan
+			// Spans end before the canceled state is observable, mirroring
+			// settle: a status poll followed by a trace fetch must see them.
+			c.waitSpan.End(ops.Arg{Key: "outcome", Val: "canceled"})
+			c.span.End(ops.Arg{Key: "state", Val: StateCanceled})
 			s.mu.Unlock()
 			s.gaugeDepth()
 			s.store.putStatus(id, &st)
@@ -792,8 +819,6 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 				oplog.F("campaign", id), oplog.F("request_id", ops.RequestID(r.Context())))
 			s.observe(id, StateCanceled)
 			s.publishState(id, StateCanceled, "")
-			waitSpan.End(ops.Arg{Key: "outcome", Val: "canceled"})
-			span.End(ops.Arg{Key: "state", Val: StateCanceled})
 			s.events.closeLog(id)
 			writeJSON(w, http.StatusOK, st)
 			return

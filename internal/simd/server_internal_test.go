@@ -1,0 +1,72 @@
+package simd
+
+import (
+	"testing"
+	"time"
+
+	"mkos/internal/sweep"
+	"mkos/internal/sweep/campaigns"
+)
+
+// TestPreDispatchCancelTakesEffect reproduces the lost-cancel race: DELETE
+// lands after a dispatcher popped the campaign but before runCampaign
+// installed c.cancel. handleCancel then only sets cancelReq (returning 202);
+// runCampaign must notice the flag when it installs the cancel func and
+// cancel its own context, or the sweep runs to completion and settles Done
+// despite the accepted cancel.
+func TestPreDispatchCancelTakesEffect(t *testing.T) {
+	build := func(spec *campaigns.Spec) (*sweep.Campaign, error) {
+		c := &sweep.Campaign{Name: spec.Name, Seed: spec.Seed}
+		c.Trials = append(c.Trials, sweep.Trial{
+			Key:  spec.Name + "/t000",
+			Spec: map[string]int{"i": 0},
+			Run: func(tr *sweep.T) (any, error) {
+				// Poll cancellation, finishing successfully after a budget: a
+				// lost cancel becomes a Done state the assertion catches,
+				// rather than a hang.
+				for i := 0; i < 200; i++ {
+					if tr.Canceled() {
+						return nil, sweep.ErrTrialCanceled
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				return map[string]int64{"seed": tr.Seed}, nil
+			},
+		})
+		return c, nil
+	}
+	s, err := NewServer(Options{Store: t.TempDir(), Build: build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	spec := []byte(`{"name":"race","seed":1,"runs":1}`)
+	id, parsed, err := SpecID(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := build(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &campaign{
+		id: id, canon: spec, built: built, submitted: time.Now(),
+		st: Status{ID: id, Client: "race", State: StateQueued, Total: 1},
+	}
+	// Leave the campaign exactly where the race does: popped from the queue,
+	// cancel accepted (cancelReq set), cancel func not yet installed.
+	c.cancelReq = true
+	s.mu.Lock()
+	s.camps[id] = c
+	s.mu.Unlock()
+
+	s.runCampaign(c)
+
+	s.mu.Lock()
+	state := c.st.State
+	s.mu.Unlock()
+	if state != StateCanceled {
+		t.Fatalf("pre-dispatch cancel settled campaign as %s, want %s", state, StateCanceled)
+	}
+}

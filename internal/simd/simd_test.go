@@ -591,6 +591,119 @@ func TestClientBackoffDeterministic(t *testing.T) {
 	}
 }
 
+// TestRecoveryBypassesAdmissionBounds asserts a restarted daemon re-admits
+// every unfinished campaign even when the persisted set exceeds the
+// successor's queue or per-client bounds: recovered work was already
+// admitted, so it must not be re-gated (and must not land permanently
+// failed) on restart.
+func TestRecoveryBypassesAdmissionBounds(t *testing.T) {
+	store := t.TempDir()
+	ctx := testCtx(t)
+
+	// Incarnation 1, generous bounds: one blocking campaign occupies the
+	// dispatcher while five more queue behind it for the same client.
+	h1 := newHarness()
+	d1 := startDaemon(t, simd.Options{
+		Store: store, Build: h1.build,
+		MaxQueue: 16, MaxPerClient: 10, Concurrency: 1,
+		DrainGrace: 20 * time.Millisecond,
+	})
+	c1 := d1.client("bulk")
+	ids := make([]string, 0, 6)
+	st, err := c1.Submit(ctx, specJSON("block-bulk", 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, st.ID)
+	h1.awaitEntries(t, 1)
+	for i := 0; i < 5; i++ {
+		st, err := c1.Submit(ctx, specJSON(fmt.Sprintf("fast-bulk%d", i), 1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	d1.stop() // interrupts the running campaign, leaves five queued on disk
+
+	// Incarnation 2, tight bounds: all six persisted campaigns exceed both
+	// MaxQueue and MaxPerClient, yet every one must resume and finish.
+	h2 := newHarness()
+	h2.release()
+	d2 := startDaemon(t, simd.Options{
+		Store: store, Build: h2.build,
+		MaxQueue: 3, MaxPerClient: 2, Concurrency: 1,
+	})
+	defer d2.stop()
+	if got := d2.srv.Stats().Resumed; got != int64(len(ids)) {
+		t.Fatalf("successor resumed %d campaigns, want %d", got, len(ids))
+	}
+	for _, id := range ids {
+		fin, err := d2.client("bulk").Await(ctx, id)
+		if err != nil || fin.State != simd.StateDone {
+			t.Fatalf("recovered campaign %s: %+v, %v", id, fin, err)
+		}
+	}
+}
+
+// TestRejectedSubmissionNotPersisted asserts a queue-rejected submission
+// leaves nothing in the store: the client was told 429, so no later
+// incarnation may resurrect and run the campaign behind its back.
+func TestRejectedSubmissionNotPersisted(t *testing.T) {
+	store := t.TempDir()
+	ctx := testCtx(t)
+
+	h1 := newHarness()
+	d1 := startDaemon(t, simd.Options{
+		Store: store, Build: h1.build,
+		MaxQueue: 1, MaxPerClient: 1, Concurrency: 1,
+	})
+	c1 := d1.client("full")
+	held, err := c1.Submit(ctx, specJSON("block-held", 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.awaitEntries(t, 1) // on the dispatcher; the queue itself is empty
+
+	queued, err := d1.client("other").Submit(ctx, specJSON("fast-fills", 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rejSpec := specJSON("fast-rejected", 1, 1)
+	rejID, _, err := simd.SpecID(rejSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flooder := d1.client("late")
+	flooder.MaxAttempts = 1
+	if _, err := flooder.Submit(ctx, rejSpec); err == nil ||
+		!strings.Contains(err.Error(), simd.ReasonQueueFull) {
+		t.Fatalf("over-limit submit: %v", err)
+	}
+	for _, id := range d1.srv.CampaignIDs() {
+		if id == rejID {
+			t.Fatal("rejected campaign still registered in memory")
+		}
+	}
+
+	// Crash and restart: the rejected campaign must not come back.
+	d1.kill()
+	h2 := newHarness()
+	h2.release()
+	d2 := startDaemon(t, simd.Options{Store: store, Build: h2.build})
+	defer d2.stop()
+	for _, id := range d2.srv.CampaignIDs() {
+		if id == rejID {
+			t.Fatal("rejected campaign resurrected by recovery")
+		}
+	}
+	for _, id := range []string{held.ID, queued.ID} {
+		if fin, err := d2.client("x").Await(ctx, id); err != nil || fin.State != simd.StateDone {
+			t.Fatalf("admitted campaign %s after restart: %+v, %v", id, fin, err)
+		}
+	}
+}
+
 // TestBadSpecRejected asserts malformed specs get a typed 400, are not
 // retried by the client, and leave nothing behind in the store.
 func TestBadSpecRejected(t *testing.T) {

@@ -98,6 +98,14 @@ func (s *store) putArtifacts(id string, results, metrics []byte) error {
 	return writeFileAtomic(s.path(id, "metrics.txt"), metrics)
 }
 
+// remove deletes a campaign's directory — the undo of admit, for campaigns
+// whose admission did not complete (queue rejection after the spec was
+// persisted). A queued status left behind would resurrect the rejected
+// submission at the next recovery, bypassing admission control.
+func (s *store) remove(id string) error {
+	return os.RemoveAll(s.dir(id))
+}
+
 // results loads the deterministic results artifact.
 func (s *store) results(id string) ([]byte, error) {
 	return os.ReadFile(s.path(id, "results.json"))
