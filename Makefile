@@ -2,7 +2,7 @@ GO ?= go
 J ?= 0
 SWEEP_SPEC ?= specs/ci-sweep.json
 
-.PHONY: all build fmt vet lint lint-fix test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep simd-race simd-chaos simd-load simd-obs shard-race shard-determinism bench-engine bench-shard
+.PHONY: all build fmt vet lint lint-fix lint-fix-clean test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep simd-race simd-chaos simd-load simd-obs shard-race shard-determinism bench-engine bench-shard
 
 all: check
 
@@ -18,18 +18,27 @@ vet:
 	$(GO) vet ./...
 
 # lint runs simlint, the bespoke determinism-and-invariant multichecker
-# (walltime, globalrand, maporder, sinkdiscipline, simtime — see
-# internal/lint/README.md). Exits 1 on any finding; suppress a justified
-# one with //simlint:allow <check> — <reason>.
+# (walltime, globalrand, maporder, sinkdiscipline, simtime, opsbound,
+# lockguard, ctxflow, opstaint — see internal/lint/README.md). Exits 1 on
+# any finding; suppress a justified one with
+# //simlint:allow <check> — <reason>.
 lint:
 	$(GO) run ./cmd/simlint ./...
 
-# lint-fix runs simlint and prints the findings as a bare file:line list
-# for jumping through in an editor. simlint never rewrites code: whether
-# a finding wants a sorted-key fold, an engine-clock read or a reasoned
-# suppression is a judgment call the diagnostics inform but don't make.
+# lint-fix applies every suggested fix (stale Now() captures, minted
+# Background contexts), rewrites the files in place, then re-lints.
+# Findings without a fix still exit 1 — whether one wants a sorted-key
+# fold, an engine-clock read or a reasoned suppression is a judgment call
+# the diagnostics inform but don't make.
 lint-fix:
-	$(GO) run ./cmd/simlint -l ./...
+	$(GO) run ./cmd/simlint -fix ./...
+
+# lint-fix-clean is the CI fixed-point gate: the committed tree must be
+# unchanged under simlint -fix, so no finding in history is one autofix
+# away from different code.
+lint-fix-clean:
+	$(GO) run ./cmd/simlint -fix ./... || true
+	git diff --exit-code
 
 test:
 	$(GO) test ./...

@@ -52,7 +52,7 @@ func main() {
 	case *series:
 		runSeries(*cm, time.Duration(*minutes*float64(time.Minute)), *seed)
 	case *cdf:
-		runCDF(core.Figure4Config{
+		runCDF(context.Background(), core.Figure4Config{
 			OFPNodes: *ofpNodes, FugakuFullNodes: *fugakuFull, Fugaku24Racks: *fugakuRacks,
 			Duration: time.Duration(*minutes * float64(time.Minute)), WorstNodes: 100, Seed: *seed,
 		}, *points, *iterations, *workers, *cacheDir, *opsTrace)
@@ -119,13 +119,13 @@ func runSeries(cm string, dur time.Duration, seed int64) {
 // orchestrator and merges per curve — the paper ran "ten iterations of
 // measurements that last for approximately 6 minutes, capturing a noise
 // profile that covers one hour altogether".
-func runCDF(cfg core.Figure4Config, points, iterations, workers int, cacheDir, opsTrace string) {
+func runCDF(ctx context.Context, cfg core.Figure4Config, points, iterations, workers int, cacheDir, opsTrace string) {
 	if iterations < 1 {
 		iterations = 1
 	}
 	// First SIGINT/SIGTERM cancels the campaign (finished trials are already
 	// journaled, so a re-run resumes); a second force-exits.
-	ctx, stopSignals := sweep.SignalContext(context.Background(), os.Stderr)
+	ctx, stopSignals := sweep.SignalContext(ctx, os.Stderr)
 	ctx, flushOps := ops.TraceFile(ctx, opsTrace)
 	o, err := sweep.RunContext(ctx, campaigns.Figure4(cfg, iterations, cfg.Seed), sweep.Options{
 		Workers: workers, CacheDir: cacheDir, Progress: os.Stderr,

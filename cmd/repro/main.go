@@ -189,7 +189,7 @@ func main() {
 	// discrete-event machinery (resilient batch system, syscall delegation)
 	// so the telemetry artifacts carry live sim/cluster/fault/mckernel data.
 	fmt.Printf("[5/6] operational stage (fault recovery + syscall offload)...\n")
-	runOpsStage(*quick)
+	runOpsStage(ctx, *quick)
 
 	// --- Full-machine sharded FWQ (Sec. 6.3 in-situ selection) ---
 	runMachineStage(ctx, *quick, *shards, *outdir, flushOps)
@@ -245,7 +245,8 @@ func main() {
 // touch: a small fault-injected batch on the resilient scheduler (cluster,
 // fault and sim engine telemetry) and a syscall chain through the McKernel
 // delegator (LWK-local vs offloaded calls, IKC traffic, proxy queueing).
-func runOpsStage(quick bool) {
+// ctx (the process signal context) cancels the engine runs cooperatively.
+func runOpsStage(ctx context.Context, quick bool) {
 	const seed = 7
 	p := cluster.OFP()
 
@@ -284,6 +285,7 @@ func runOpsStage(quick bool) {
 		log.Fatal(err)
 	}
 	eng := sim.NewEngine()
+	eng.SetCancelHook(func() bool { return ctx.Err() != nil }, 0)
 	telemetry.AttachEngine(eng)
 	d := mckernel.NewDelegator(node.LWK, eng)
 	proc, err := node.LWK.Spawn("ops-probe", 1)

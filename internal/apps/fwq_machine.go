@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -195,10 +196,19 @@ func digestOf(node int, a noise.Analysis) FWQDigest {
 
 // FWQMachine runs the full-machine campaign: the sharded sweep, the in-situ
 // worst-K selection, and the sequential full re-run of the selected nodes.
-// The shard.Result is returned alongside for callers that want the fold of
-// the per-shard registries or the runner statistics; nothing in it beyond
-// Windows may enter a byte-compared artifact.
+// It is the ctx-free convenience form of FWQMachineContext; cancellation,
+// if any, arrives through cfg.Cancel.
 func FWQMachine(cfg FWQMachineConfig) (*FWQMachineResult, *shard.Result, error) {
+	return FWQMachineContext(context.Background(), cfg)
+}
+
+// FWQMachineContext is FWQMachine with caller cancellation: ending ctx
+// stops the sharded run cooperatively (merged with cfg.Cancel, exactly as
+// shard.RunContext does). The shard.Result is returned alongside for
+// callers that want the fold of the per-shard registries or the runner
+// statistics; nothing in it beyond Windows may enter a byte-compared
+// artifact.
+func FWQMachineContext(ctx context.Context, cfg FWQMachineConfig) (*FWQMachineResult, *shard.Result, error) {
 	if cfg.Work <= 0 || cfg.Duration <= 0 || cfg.Nodes <= 0 || len(cfg.Classes) == 0 {
 		return nil, nil, ErrBadMachineConfig
 	}
@@ -228,7 +238,7 @@ func FWQMachine(cfg FWQMachineConfig) (*FWQMachineResult, *shard.Result, error) 
 	if m.report == nil {
 		m.report = func(int, int, int64) (time.Duration, error) { return cfg.Lookahead, nil }
 	}
-	sres, err := shard.Run(shard.Config{
+	sres, err := shard.RunContext(ctx, shard.Config{
 		Nodes: cfg.Nodes, Shards: cfg.Shards, Lookahead: cfg.Lookahead,
 		Cancel: cfg.Cancel, Observer: cfg.Observer,
 	}, m)

@@ -198,6 +198,7 @@ func (rs *ResilientScheduler) Submit(w bsp.Workload, g bsp.Geometry, nodes int, 
 	rs.Engine.Schedule(0, fmt.Sprintf("job%d-start", job.ID), func(*sim.Engine) {
 		rs.runAttempt(job, os, seed, 0, 0)
 	})
+	//simlint:allow ctxflow — Submit is a deterministic run-to-completion replay: the engine drains synchronously on the caller's goroutine, and cancellation (when wanted) is the engine cancel hook, not a ctx
 	runErr := rs.Engine.Run()
 	rs.Report.Makespan = rs.Engine.Now().Duration()
 	if runErr != nil {

@@ -22,7 +22,9 @@ import (
 
 // Analyzer describes one static check. The shape mirrors
 // x/tools/go/analysis.Analyzer minus the Requires/ResultOf plumbing,
-// which simlint's five independent syntax+types passes do not need.
+// which simlint's independent passes do not need. Cross-package state
+// flows through facts instead: a pass attaches facts to objects or to
+// its package, and passes over importing packages read them back.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics, -checks filters and
 	// //simlint:allow suppressions. Lowercase, no spaces.
@@ -35,6 +37,12 @@ type Analyzer struct {
 	// never for findings.
 	Run func(*Pass) error
 }
+
+// Fact is a piece of analyzer-scoped information attached to an object
+// or a package and visible to later passes of the same analyzer over
+// importing packages. Implementations are pointer types; AFact is a
+// marker with no behavior, exactly as in x/tools/go/analysis.
+type Fact interface{ AFact() }
 
 // Pass carries one package's syntax and type information to an
 // analyzer's Run function.
@@ -50,6 +58,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	facts *factStore
 }
 
 // Reportf records a finding at pos.
@@ -60,6 +69,60 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Position: p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ReportfFix records a finding at pos carrying a machine-applicable
+// suggested fix. simlint -fix applies the fix's edits textually.
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
+// ExportObjectFact attaches fact to obj for later passes of the same
+// analyzer. The fact must be a pointer; obj must not be nil.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.exportObject(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's concrete type previously
+// exported for obj (by any package's pass of this analyzer) into ptr,
+// reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.facts.importObject(p.Analyzer, obj, ptr)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.exportPackage(p.Analyzer, p.Pkg, fact)
+}
+
+// ImportPackageFact copies the fact of ptr's concrete type previously
+// exported for pkg into ptr, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	return p.facts.importPackage(p.Analyzer, pkg, ptr)
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. End may
+// equal Pos for a pure insertion.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// SuggestedFix is a machine-applicable repair for one diagnostic: a set
+// of non-overlapping text edits within the diagnosed package's files.
+// simlint -fix applies every suggested fix textually and verifies the
+// result is a fixpoint (a second run proposes no further edits).
+type SuggestedFix struct {
+	// Message says what applying the fix does, imperative mood
+	// ("replace the stale capture with e.Now()").
+	Message string
+	Edits   []TextEdit
 }
 
 // Diagnostic is one finding, resolved to a concrete source position.
@@ -73,6 +136,8 @@ type Diagnostic struct {
 	Position token.Position
 	// Message states the violated invariant.
 	Message string
+	// Fix, when non-nil, is a machine-applicable repair (simlint -fix).
+	Fix *SuggestedFix
 }
 
 // String renders the go-vet-style "file:line:col: [check] message" form.

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// FixResult is the outcome of ApplyFixes: the full new content of every
+// file at least one edit landed in, plus counts for the summary line.
+type FixResult struct {
+	// Files maps filename to rewritten content.
+	Files map[string][]byte
+	// Applied counts diagnostics whose fix was applied in full.
+	Applied int
+	// Skipped counts diagnostics whose fix was dropped because one of
+	// its edits overlapped an already-accepted edit. Deterministic:
+	// diagnostics are considered in Run's sort order, first writer wins.
+	Skipped int
+	// AppliedDiag parallels the input diagnostics: AppliedDiag[i] is true
+	// iff diags[i]'s fix was applied. Feed it to WriteJSON so the report
+	// says exactly which findings the run rewrote.
+	AppliedDiag []bool
+}
+
+// edit is one accepted text edit resolved to file offsets.
+type edit struct {
+	start, end int
+	newText    string
+}
+
+// ApplyFixes resolves every diagnostic's suggested fix to file offsets
+// and splices the edits into the sources, entirely in memory. Callers
+// decide what to do with the rewritten bytes (simlint -fix writes them
+// back; the fix-golden corpus runner compares them). Diagnostics
+// without a fix are ignored.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (*FixResult, error) {
+	accepted := map[string][]edit{} // filename -> non-overlapping edits
+	res := &FixResult{Files: map[string][]byte{}, AppliedDiag: make([]bool, len(diags))}
+	for i, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		resolved := make(map[string][]edit)
+		ok := true
+		for _, te := range d.Fix.Edits {
+			if !te.Pos.IsValid() || te.End < te.Pos {
+				return nil, fmt.Errorf("lint: [%s] %s: invalid edit range", d.Check, d.Fix.Message)
+			}
+			pos, end := fset.Position(te.Pos), fset.Position(te.End)
+			if end.Filename != pos.Filename {
+				return nil, fmt.Errorf("lint: [%s] %s: edit spans files", d.Check, d.Fix.Message)
+			}
+			e := edit{start: pos.Offset, end: end.Offset, newText: te.NewText}
+			if overlaps(accepted[pos.Filename], e) || overlaps(resolved[pos.Filename], e) {
+				ok = false
+				break
+			}
+			resolved[pos.Filename] = append(resolved[pos.Filename], e)
+		}
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		for f, es := range resolved {
+			accepted[f] = append(accepted[f], es...)
+		}
+		res.Applied++
+		res.AppliedDiag[i] = true
+	}
+	for filename, edits := range accepted {
+		content, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		var out []byte
+		last := 0
+		for _, e := range edits {
+			if e.start < last || e.end > len(content) {
+				return nil, fmt.Errorf("lint: applying fixes to %s: edit out of range", filename)
+			}
+			out = append(out, content[last:e.start]...)
+			out = append(out, e.newText...)
+			last = e.end
+		}
+		out = append(out, content[last:]...)
+		res.Files[filename] = out
+	}
+	return res, nil
+}
+
+// overlaps reports whether e intersects any accepted edit. Two pure
+// insertions at the same offset do overlap — their order would be
+// ambiguous, and ambiguity is nondeterminism.
+func overlaps(es []edit, e edit) bool {
+	for _, o := range es {
+		if e.start < o.end && o.start < e.end {
+			return true
+		}
+		if e.start == o.start && e.start == e.end && o.start == o.end {
+			return true
+		}
+	}
+	return false
+}

@@ -27,10 +27,15 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Loader parses and type-checks packages. One Loader shares a FileSet and
-// a source importer across every package it loads, so stdlib and
-// module-local dependencies are type-checked once and positions stay
-// comparable across packages.
+// Loader parses and type-checks packages. One Loader shares a FileSet
+// across every package it loads, and it is itself the importer for
+// module-local (and registered corpus) import paths: each such package
+// is parsed and type-checked exactly once, and every importer sees the
+// same *types.Package. That identity is what makes cross-package facts
+// sound — an object fact exported while analyzing the defining package
+// is found again when an importing package's pass resolves the same
+// types.Object. Stdlib and other external paths fall through to the
+// go/importer source importer.
 type Loader struct {
 	Fset *token.FileSet
 	// IncludeTests makes the loader keep _test.go files. simlint ships
@@ -39,19 +44,50 @@ type Loader struct {
 	// measure wall time.
 	IncludeTests bool
 
-	imp types.Importer
+	std  types.Importer      // stdlib / out-of-module fallthrough
+	pkgs map[string]*Package // import path -> the one loaded instance
+
+	modRoot string // module root directory ("" until LoadModule)
+	modPath string // module path from go.mod
 }
 
 // NewLoader returns a loader with a fresh FileSet and source importer.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{
+		Fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*Package),
+	}
+}
+
+// Import implements types.Importer. Already-loaded packages (module
+// packages and corpus packages registered by LoadDir) resolve to their
+// single shared instance; paths under the module load on demand through
+// LoadDir; everything else goes to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return p.Types, nil
+	}
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")))
+		p, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
 }
 
 // LoadModule walks the module rooted at root (the directory holding
 // go.mod) and loads every non-test package under it, skipping testdata,
 // vendor and hidden directories. Packages come back sorted by import
-// path.
+// path. Intra-module imports are resolved by the loader itself, so each
+// package is type-checked once no matter how many importers it has.
 func (l *Loader) LoadModule(root string) ([]*Package, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
@@ -61,6 +97,7 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.modRoot, l.modPath = root, modPath
 	var dirs []string
 	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -104,11 +141,22 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 }
 
 // LoadDir parses and type-checks the single package in dir under the
-// given import path. Type errors are returned, not reported as findings:
-// simlint analyzes code that already compiles.
+// given import path, memoizing the result so every importer shares one
+// instance. Type errors are returned, not reported as findings: simlint
+// analyzes code that already compiles.
 func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	if p, ok := l.pkgs[pkgPath]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", pkgPath)
+		}
+		return p, nil
+	}
+	// Reserve the slot before type-checking: a cyclic import resolves to
+	// the nil-Types placeholder and errors out instead of recursing.
+	l.pkgs[pkgPath] = &Package{PkgPath: pkgPath, Dir: dir}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
+		delete(l.pkgs, pkgPath)
 		return nil, err
 	}
 	var files []*ast.File
@@ -130,11 +178,13 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
+			delete(l.pkgs, pkgPath)
 			return nil, err
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
+		delete(l.pkgs, pkgPath)
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	info := &types.Info{
@@ -144,12 +194,15 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
 	if err != nil {
+		delete(l.pkgs, pkgPath)
 		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
 	}
-	return &Package{PkgPath: pkgPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+	p := l.pkgs[pkgPath]
+	p.Fset, p.Files, p.Types, p.Info = l.Fset, files, tpkg, info
+	return p, nil
 }
 
 func hasGoFiles(dir string) bool {

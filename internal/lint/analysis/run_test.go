@@ -122,14 +122,14 @@ func TestRunSortsAndEncodesJSON(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := analysis.WriteJSON(&buf, diags); err != nil {
+	if err := analysis.WriteJSON(&buf, diags, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"findings"`) || !strings.Contains(buf.String(), `"check": "fake"`) {
 		t.Errorf("JSON output missing expected fields:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := analysis.WriteJSON(&buf, nil); err != nil {
+	if err := analysis.WriteJSON(&buf, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"findings": []`) {

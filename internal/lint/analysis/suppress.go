@@ -16,12 +16,14 @@ import (
 //	//simlint:allow walltime — host-side profiling, never simulation state
 //	start := time.Now()
 //
-// Placed on its own line, the directive covers exactly the next statement
-// (or declaration) — including that statement's nested block, but nothing
-// after it. Placed at the end of a line of code, it covers that line
-// only. A directive with an unknown check name or a missing reason is
-// itself a finding (check "simlint"): silent or unexplained suppressions
-// are precisely what a determinism gate must not accumulate.
+// Placed on its own line, the directive covers the complete construct
+// that starts on the next code line — a statement (however many lines it
+// spans, including any nested block), a declaration, a struct field, or
+// a composite-literal element — but nothing after it. Placed at the end
+// of a line of code, it covers that line only. A directive with an
+// unknown check name or a missing reason is itself a finding (check
+// "simlint"): silent or unexplained suppressions are precisely what a
+// determinism gate must not accumulate.
 
 // allowDirective is one parsed //simlint:allow comment.
 type allowDirective struct {
@@ -98,7 +100,7 @@ func collectAllows(pkg *Package, f *ast.File, known map[string]bool) []allowDire
 					"\"; valid checks: " + strings.Join(sortedNames(known), ", ")
 			}
 			if a.bad == "" && a.ownLine {
-				a.from, a.to = nextStatementRange(f, c.End())
+				a.from, a.to = nextCoveredRange(f, c.End())
 			}
 			allows = append(allows, a)
 		}
@@ -165,28 +167,42 @@ func (s *sourceLines) onlyWhitespaceBefore(line, col int) bool {
 	return strings.TrimSpace(text[:col-1]) == ""
 }
 
-// nextStatementRange returns the Pos/End range of the innermost statement
-// or declaration beginning after pos in f. Directives placed before a
-// compound statement cover its whole body — the directive precedes the
-// statement, so the statement is its scope — but nothing beyond End().
-func nextStatementRange(f *ast.File, pos token.Pos) (token.Pos, token.Pos) {
-	var best ast.Node
+// nextCoveredRange returns the source range an own-line directive at pos
+// covers: the full extent of the outermost construct whose first token
+// is the next code token after the directive. Finding the first token
+// and then widening to the largest node that starts exactly there makes
+// the scope the complete multi-line statement (or declaration, struct
+// field, or composite-literal element) the author wrote the directive
+// above — never just its first line, and never a construct that began
+// before the directive. Comments are skipped so a directive may sit
+// above an explanatory comment block.
+func nextCoveredRange(f *ast.File, pos token.Pos) (token.Pos, token.Pos) {
+	first := token.NoPos
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n.(type) {
-		case ast.Stmt, ast.Decl, ast.Spec:
-			if n.Pos() >= pos {
-				if best == nil || n.Pos() < best.Pos() ||
-					(n.Pos() == best.Pos() && n.End() > best.End()) {
-					best = n
-				}
-			}
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		if n.Pos() >= pos && (!first.IsValid() || n.Pos() < first) {
+			first = n.Pos()
 		}
 		return true
 	})
-	if best == nil {
+	if !first.IsValid() {
 		return token.NoPos, token.NoPos
 	}
-	return best.Pos(), best.End()
+	end := first
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		if n.Pos() == first && n.End() > end {
+			end = n.End()
+		}
+		return true
+	})
+	return first, end
 }
 
 func sortedNames(m map[string]bool) []string {

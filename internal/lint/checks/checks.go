@@ -1,7 +1,9 @@
-// Package checks holds the six simlint analyzers. Each one encodes a
+// Package checks holds the nine simlint analyzers. Each one encodes a
 // determinism or safety invariant of the simulator that the end-to-end
 // double-run cmp gates can only witness after the fact; the analyzers
-// catch the violation at the offending line instead. See
+// catch the violation at the offending line instead. Six are per-file
+// syntax-and-types checks; lockguard, ctxflow and opstaint use the
+// framework's cross-package facts and dataflow. See
 // internal/lint/README.md for the catalogue, example findings and the
 // suppression syntax.
 package checks
@@ -16,7 +18,10 @@ import (
 
 // All returns the full analyzer suite in reporting order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Sinkdiscipline, Simtime, Opsbound}
+	return []*analysis.Analyzer{
+		Walltime, Globalrand, Maporder, Sinkdiscipline, Simtime, Opsbound,
+		Lockguard, Ctxflow, Opstaint,
+	}
 }
 
 // opsPrefixes lists the package-path prefixes where wall-clock time and

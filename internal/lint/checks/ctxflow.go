@@ -1,0 +1,200 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mkos/internal/lint/analysis"
+)
+
+// Ctxflow enforces cancellation discipline around the long-running entry
+// points: any function that drives a simulation — calling
+// (*sim.Engine).Run / RunUntil / RunFor, sweep.Run / RunContext, or
+// shard.Run / RunContext from outside their defining packages — must
+// accept a context.Context so its caller can cancel it. Two companion
+// rules close the usual escape hatches:
+//
+//   - storing a context.Context in a struct field is a finding: a stored
+//     ctx outlives the call tree it was scoped to, which is exactly the
+//     pre-dispatch cancel race the PR 8 review fixed by hand;
+//   - calling context.Background() (or TODO()) outside package main is a
+//     finding: depths of the call tree must thread the caller's ctx, not
+//     mint an uncancellable fresh one. When the enclosing function has a
+//     ctx parameter the diagnostic carries a suggested fix replacing the
+//     Background() call with it.
+//
+// One idiom is blessed: the compatibility wrapper
+//
+//	func Run(c *Campaign, opts Options) (*Outcome, error) {
+//		return RunContext(context.Background(), c, opts)
+//	}
+//
+// a single-statement delegation from X to XContext. The wrapper is the
+// documented seam between ctx-free convenience callers and the
+// cancellable implementation, so neither rule fires inside it.
+var Ctxflow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "functions driving Engine.Run*/sweep.RunContext/shard.Run must accept and thread " +
+		"a context.Context; no ctx in struct fields, no context.Background() below main",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkCtxFields(pass, d)
+			case *ast.FuncDecl:
+				checkCtxFunc(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(pass *analysis.Pass, d *ast.GenDecl) {
+	ast.Inspect(d, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+				pass.Reportf(field.Pos(),
+					"struct field stores a context.Context: a stored ctx outlives the call "+
+						"it was scoped to; pass ctx as a parameter down the call tree instead")
+			}
+		}
+		return true
+	})
+}
+
+// checkCtxFunc applies the driver and Background rules to one function
+// declaration.
+func checkCtxFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	if isBlessedWrapper(pass.TypesInfo, fd) {
+		return
+	}
+	isMain := pass.Pkg.Name() == "main" && fd.Name.Name == "main" && fd.Recv == nil
+	hasCtx, ctxName := ctxParam(pass.TypesInfo, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pass.TypesInfo, call)
+		if obj == nil {
+			return true
+		}
+		// Rule: Background()/TODO() below main.
+		if objPkgPath(obj) == "context" && (obj.Name() == "Background" || obj.Name() == "TODO") {
+			if pass.Pkg.Name() != "main" {
+				msg := "context." + obj.Name() + "() minted outside package main: thread the " +
+					"caller's ctx down instead of starting a fresh uncancellable one"
+				if hasCtx {
+					pass.ReportfFix(call.Pos(), &analysis.SuggestedFix{
+						Message: "replace context." + obj.Name() + "() with the " + ctxName + " parameter",
+						Edits: []analysis.TextEdit{{
+							Pos: call.Pos(), End: call.End(), NewText: ctxName,
+						}},
+					}, "%s", msg)
+				} else {
+					pass.Reportf(call.Pos(), "%s", msg)
+				}
+			}
+			return true
+		}
+		// Rule: driving a simulation without a ctx parameter.
+		if !hasCtx && !isMain && isDriverCall(pass, obj) {
+			pass.Reportf(call.Pos(),
+				"%s drives the simulation via %s but takes no context.Context: accept a ctx "+
+					"parameter (or add a %sContext variant and make %s its blessed wrapper) so "+
+					"callers can cancel",
+				fd.Name.Name, obj.Name(), fd.Name.Name, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// isDriverCall reports whether obj is one of the long-running entry
+// points, defined outside the analyzed package (a package's own entry
+// points may compose internally — RunFor delegating to RunUntil is not a
+// contract violation).
+func isDriverCall(pass *analysis.Pass, obj types.Object) bool {
+	if obj.Pkg() == pass.Pkg {
+		return false
+	}
+	switch {
+	case fromPkg(obj, "internal/sim") && isMethod(obj):
+		return obj.Name() == "Run" || obj.Name() == "RunUntil" || obj.Name() == "RunFor"
+	case fromPkg(obj, "internal/sweep") && !isMethod(obj):
+		return obj.Name() == "Run" || obj.Name() == "RunContext"
+	case fromPkg(obj, "internal/shard") && !isMethod(obj):
+		return obj.Name() == "Run" || obj.Name() == "RunContext"
+	}
+	return false
+}
+
+// ctxParam reports whether fd declares a context.Context parameter and
+// returns its name.
+func ctxParam(info *types.Info, fd *ast.FuncDecl) (bool, string) {
+	if fd.Type.Params == nil {
+		return false, ""
+	}
+	for _, p := range fd.Type.Params.List {
+		if !isContextType(info.TypeOf(p.Type)) {
+			continue
+		}
+		if len(p.Names) > 0 && p.Names[0].Name != "_" {
+			return true, p.Names[0].Name
+		}
+		return true, "ctx"
+	}
+	return false, ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isBlessedWrapper recognizes the single-statement delegation
+//
+//	func X(a, b T) (R, error) { return XContext(context.Background(), a, b) }
+//
+// from X to its Context-suffixed sibling.
+func isBlessedWrapper(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	callee := calleeObj(info, call)
+	if callee == nil || callee.Name() != fd.Name.Name+"Context" {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	firstObj := calleeObj(info, first)
+	return firstObj != nil && objPkgPath(firstObj) == "context" &&
+		(firstObj.Name() == "Background" || firstObj.Name() == "TODO")
+}

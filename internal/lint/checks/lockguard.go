@@ -1,0 +1,576 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mkos/internal/lint/analysis"
+)
+
+// Lockguard enforces "// guarded by <mu>" field annotations.
+//
+// The concurrent subsystems (the simd daemon, the shard runner's ops
+// observer, the sweep pool) protect struct state with mutexes, and the
+// discipline lives in comments: "st is the current wire status; guarded
+// by Server.mu". Lockguard makes those comments binding. A field whose
+// declaration carries a guarded-by annotation may only be read or
+// written while the named mutex is held on the statement path — Lock()
+// before, Unlock() not yet reached (a deferred Unlock holds to function
+// end). This is exactly the class of bug the PR 8 review caught by hand:
+// a campaign span ended after s.mu was released, making terminal state
+// observable before the span landed in the trace.
+//
+// Two annotation forms:
+//
+//	mu sync.Mutex
+//	backlog map[string][]*job // guarded by mu
+//
+// names a sibling field: an access s.backlog needs s.mu held (the base
+// expressions must match). The qualified form
+//
+//	st Status // guarded by Server.mu
+//
+// names a mutex on another struct of the same package: the access needs
+// any held mutex whose owner has that type — the idiom for satellite
+// structs whose lifecycle a parent serializes.
+//
+// Conventions understood by the analyzer: a method whose name ends in
+// "Locked" is called with its receiver's mutexes already held; values
+// freshly built from a composite literal (or new) inside the current
+// function are unshared and exempt; function literals start with no
+// locks held (they may run anywhere).
+var Lockguard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated \"// guarded by <mu>\" may only be accessed with that mutex " +
+		"held on the statement path",
+	Run: runLockguard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)`)
+
+// guard is one parsed field annotation.
+type guard struct {
+	mutex string // mutex field name ("mu")
+	owner string // named struct type carrying the mutex ("" = sibling form)
+}
+
+// lockState tracks the mutexes held at a point in a function body.
+type lockState struct {
+	// bases maps "base.mutex" rendered source text ("s.mu", "q.mu") to
+	// the named type of the base, for sibling matching.
+	bases map[string]string
+	// owners counts held mutexes per owning struct type name, for
+	// qualified (Type.mu) matching.
+	owners map[string]int
+}
+
+func newLockState() *lockState {
+	return &lockState{bases: map[string]string{}, owners: map[string]int{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.bases {
+		c.bases[k] = v
+	}
+	for k, v := range s.owners {
+		c.owners[k] = v
+	}
+	return c
+}
+
+func (s *lockState) lock(base, mutex, owner string) {
+	key := base + "." + mutex
+	if _, held := s.bases[key]; !held {
+		s.bases[key] = owner
+		s.owners[owner]++
+	}
+}
+
+func (s *lockState) unlock(base, mutex string) {
+	key := base + "." + mutex
+	owner, held := s.bases[key]
+	if held {
+		delete(s.bases, key)
+		s.owners[owner]--
+	}
+}
+
+func (s *lockState) holdsSibling(base, mutex string) bool {
+	_, held := s.bases[base+"."+mutex]
+	return held
+}
+
+func (s *lockState) holdsOwner(owner string) bool { return s.owners[owner] > 0 }
+
+func runLockguard(pass *analysis.Pass) error {
+	lg := &lockguardPass{
+		pass:   pass,
+		guards: map[*types.Var]guard{},
+	}
+	for _, f := range pass.Files {
+		lg.collectGuards(f)
+	}
+	if len(lg.guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lg.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+type lockguardPass struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]guard
+}
+
+// collectGuards parses every guarded-by field annotation in f, validating
+// that the named mutex exists: the sibling form must name a mutex field of
+// the same struct, the qualified form a mutex field of the named package
+// type. A dangling annotation is itself a finding — an unenforceable
+// guard comment is documentation rot.
+func (lg *lockguardPass) collectGuards(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			text := ""
+			if field.Doc != nil {
+				text = field.Doc.Text()
+			}
+			if field.Comment != nil {
+				text += " " + field.Comment.Text()
+			}
+			m := guardedByRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			g, bad := lg.resolveGuard(st, m[1])
+			if bad != "" {
+				lg.pass.Reportf(field.Pos(), "%s", bad)
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := lg.pass.TypesInfo.Defs[name].(*types.Var); ok {
+					lg.guards[v] = g
+				}
+			}
+		}
+		return true
+	})
+}
+
+// resolveGuard validates the annotation target and normalizes it.
+func (lg *lockguardPass) resolveGuard(st *ast.StructType, target string) (guard, string) {
+	if owner, mutex, ok := strings.Cut(target, "."); ok {
+		obj := lg.pass.Pkg.Scope().Lookup(owner)
+		tn, isType := obj.(*types.TypeName)
+		if !isType {
+			return guard{}, "guarded-by annotation names unknown type \"" + owner +
+				"\": the qualified form is <PackageType>.<mutexField>"
+		}
+		if !structHasMutexField(tn.Type(), mutex) {
+			return guard{}, "guarded-by annotation names \"" + target +
+				"\" but " + owner + " has no mutex field \"" + mutex + "\""
+		}
+		return guard{mutex: mutex, owner: owner}, ""
+	}
+	// Sibling form: the mutex must be a field of this same struct.
+	for _, sib := range st.Fields.List {
+		for _, name := range sib.Names {
+			if name.Name == target && isMutexType(lg.pass.TypesInfo.TypeOf(sib.Type)) {
+				return guard{mutex: target}, ""
+			}
+		}
+		// Embedded sync.Mutex: the field name is the type name.
+		if len(sib.Names) == 0 && target == "Mutex" && isMutexType(lg.pass.TypesInfo.TypeOf(sib.Type)) {
+			return guard{mutex: target}, ""
+		}
+	}
+	return guard{}, "guarded-by annotation names \"" + target +
+		"\" but the struct has no mutex field of that name"
+}
+
+// structHasMutexField reports whether t (or *t) is a struct with a mutex
+// field of the given name.
+func structHasMutexField(t types.Type, name string) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		if f.Name() == name && isMutexType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex or a pointer
+// to one.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkFunc walks one function body tracking lock state along the
+// statement path.
+func (lg *lockguardPass) checkFunc(fd *ast.FuncDecl) {
+	state := newLockState()
+	fresh := lg.freshLocals(fd.Body)
+	// A *Locked method is called with its receiver's mutexes held — every
+	// mutex field of the receiver struct counts, under both match forms.
+	if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil && len(fd.Recv.List) > 0 {
+		recv := fd.Recv.List[0]
+		if len(recv.Names) > 0 && recv.Names[0].Name != "_" {
+			rt := lg.pass.TypesInfo.TypeOf(recv.Type)
+			owner := namedTypeName(rt)
+			for _, mu := range mutexFields(rt) {
+				state.lock(recv.Names[0].Name, mu, owner)
+			}
+		}
+	}
+	lg.walkStmts(fd.Body.List, state, fresh)
+}
+
+// freshLocals collects objects assigned from composite literals or new()
+// in body: values this function built itself and has not yet shared, so
+// no lock can be required to touch them (every constructor would
+// otherwise be a finding).
+func (lg *lockguardPass) freshLocals(body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isFreshExpr(as.Rhs[i]) {
+				continue
+			}
+			obj := lg.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = lg.pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether e constructs a brand-new value: a composite
+// literal, &literal, or new(T).
+func isFreshExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// walkStmts processes a statement list in order, mutating state as locks
+// are taken and released and checking guarded accesses in every
+// expression along the way. Bodies of branches and loops see a copy of
+// the state — a lock taken inside a branch does not leak out — which
+// keeps the analysis linear and errs toward reporting.
+func (lg *lockguardPass) walkStmts(stmts []ast.Stmt, state *lockState, fresh map[types.Object]bool) {
+	for _, st := range stmts {
+		lg.walkStmt(st, state, fresh)
+	}
+}
+
+func (lg *lockguardPass) walkStmt(st ast.Stmt, state *lockState, fresh map[types.Object]bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if lg.lockTransition(st.X, state) {
+			return
+		}
+		lg.checkExpr(st.X, state, fresh)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return: the mutex stays held for
+		// the remainder of the walk. Other deferred calls are checked
+		// like function literals — with no locks assumed.
+		if isUnlockCall(lg.pass.TypesInfo, st.Call) {
+			return
+		}
+		lg.checkExpr(st.Call, state, fresh)
+	case *ast.GoStmt:
+		lg.checkExpr(st.Call, state, fresh)
+	case *ast.BlockStmt:
+		lg.walkStmts(st.List, state, fresh)
+	case *ast.LabeledStmt:
+		lg.walkStmt(st.Stmt, state, fresh)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			lg.walkStmt(st.Init, state, fresh)
+		}
+		lg.checkExpr(st.Cond, state, fresh)
+		lg.walkStmts(st.Body.List, state.clone(), fresh)
+		if st.Else != nil {
+			lg.walkStmt(st.Else, state.clone(), fresh)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			lg.walkStmt(st.Init, state, fresh)
+		}
+		if st.Cond != nil {
+			lg.checkExpr(st.Cond, state, fresh)
+		}
+		body := state.clone()
+		lg.walkStmts(st.Body.List, body, fresh)
+		if st.Post != nil {
+			lg.walkStmt(st.Post, body, fresh)
+		}
+	case *ast.RangeStmt:
+		lg.checkExpr(st.X, state, fresh)
+		lg.walkStmts(st.Body.List, state.clone(), fresh)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			lg.walkStmt(st.Init, state, fresh)
+		}
+		if st.Tag != nil {
+			lg.checkExpr(st.Tag, state, fresh)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					lg.checkExpr(e, state, fresh)
+				}
+				lg.walkStmts(cc.Body, state.clone(), fresh)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			lg.walkStmt(st.Init, state, fresh)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lg.walkStmts(cc.Body, state.clone(), fresh)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					lg.walkStmt(cc.Comm, state.clone(), fresh)
+				}
+				lg.walkStmts(cc.Body, state.clone(), fresh)
+			}
+		}
+	default:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				lg.checkExpr(e, state, fresh)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// lockTransition updates state for mu.Lock/RLock/Unlock/RUnlock calls,
+// reporting whether e was one.
+func (lg *lockguardPass) lockTransition(e ast.Expr, state *lockState) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	var locking bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	if !isMutexType(lg.pass.TypesInfo.TypeOf(sel.X)) {
+		return false
+	}
+	base, mutex, owner := splitMutexExpr(lg.pass.TypesInfo, sel.X)
+	if mutex == "" {
+		return false
+	}
+	if locking {
+		state.lock(base, mutex, owner)
+	} else {
+		state.unlock(base, mutex)
+	}
+	return true
+}
+
+// isUnlockCall reports whether call is mu.Unlock()/RUnlock() on a mutex.
+func isUnlockCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return false
+	}
+	return isMutexType(info.TypeOf(sel.X))
+}
+
+// splitMutexExpr decomposes a mutex expression ("s.mu", "mu") into its
+// base source text, the mutex field name, and the named type of the
+// base (the mutex's owner).
+func splitMutexExpr(info *types.Info, e ast.Expr) (base, mutex, owner string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return types.ExprString(e.X), e.Sel.Name, namedTypeName(info.TypeOf(e.X))
+	case *ast.Ident:
+		return "", e.Name, ""
+	}
+	return "", "", ""
+}
+
+// namedTypeName returns the name of t's named type, dereferencing one
+// pointer level, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// mutexFields lists the mutex-typed field names of t's struct type.
+func mutexFields(t types.Type) []string {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < s.NumFields(); i++ {
+		if isMutexType(s.Field(i).Type()) {
+			out = append(out, s.Field(i).Name())
+		}
+	}
+	return out
+}
+
+// checkExpr reports every guarded-field access in e performed without
+// the required mutex. Function literals inside e are checked with a
+// fresh, lock-free state: they may run on any goroutine at any time.
+func (lg *lockguardPass) checkExpr(e ast.Expr, state *lockState, fresh map[types.Object]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lg.walkStmts(fl.Body.List, newLockState(), lg.freshLocals(fl.Body))
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := lg.pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := lg.guards[v]
+		if !guarded {
+			return true
+		}
+		if root := rootIdent(sel.X); root != nil {
+			obj := lg.pass.TypesInfo.Uses[root]
+			if obj != nil && fresh[obj] {
+				return true
+			}
+		}
+		if g.owner != "" {
+			if state.holdsOwner(g.owner) {
+				return true
+			}
+			lg.pass.Reportf(sel.Pos(),
+				"field %s is guarded by %s.%s but no %s mutex is held here: "+
+					"take the lock around this access or move it inside the guarded section",
+				v.Name(), g.owner, g.mutex, g.owner)
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if state.holdsSibling(base, g.mutex) {
+			return true
+		}
+		lg.pass.Reportf(sel.Pos(),
+			"field %s is guarded by %s but %s.%s is not held here: "+
+				"take the lock around this access or move it inside the guarded section",
+			v.Name(), g.mutex, base, g.mutex)
+		return true
+	})
+}
+
+// rootIdent returns the leftmost identifier of a selector chain, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}

@@ -120,6 +120,7 @@ func reportStaleCaptures(pass *analysis.Pass, fl *ast.FuncLit, nowVars map[types
 	if readsClock {
 		return
 	}
+	engine := engineParamName(pass, fl)
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
 		if !ok {
@@ -133,12 +134,45 @@ func reportStaleCaptures(pass *analysis.Pass, fl *ast.FuncLit, nowVars map[types
 		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
 			return true
 		}
-		pass.Reportf(id.Pos(),
-			"handler uses %s, a Now() value captured before the Schedule call: by the time the "+
-				"event fires the clock has advanced — read the engine's clock inside the handler "+
-				"(e.Now())", id.Name)
+		msg := "handler uses " + id.Name + ", a Now() value captured before the Schedule call: " +
+			"by the time the event fires the clock has advanced — read the engine's clock " +
+			"inside the handler (e.Now())"
+		if engine == "" {
+			pass.Reportf(id.Pos(), "%s", msg)
+			return true
+		}
+		pass.ReportfFix(id.Pos(), &analysis.SuggestedFix{
+			Message: "read the live clock: replace " + id.Name + " with " + engine + ".Now()",
+			Edits: []analysis.TextEdit{{
+				Pos: id.Pos(), End: id.End(), NewText: engine + ".Now()",
+			}},
+		}, "%s", msg)
 		return true
 	})
+}
+
+// engineParamName returns the name of fl's *sim.Engine parameter, or ""
+// when the handler has none (or discards it) — only then is there a live
+// clock to rewrite stale captures onto.
+func engineParamName(pass *analysis.Pass, fl *ast.FuncLit) string {
+	if fl.Type.Params == nil {
+		return ""
+	}
+	for _, p := range fl.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(p.Type)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Engine" || named.Obj().Pkg() == nil ||
+			!fromPath(named.Obj().Pkg().Path(), "internal/sim") {
+			continue
+		}
+		if len(p.Names) > 0 && p.Names[0].Name != "_" {
+			return p.Names[0].Name
+		}
+	}
+	return ""
 }
 
 func isEngineNowCall(pass *analysis.Pass, expr ast.Expr) bool {

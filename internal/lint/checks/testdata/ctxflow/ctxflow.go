@@ -1,0 +1,55 @@
+// Package ctxflow is the ctxflow analyzer corpus: simulation drivers
+// with and without a ctx parameter, the blessed X/XContext wrapper
+// idiom, a stored context, and a minted Background.
+package ctxflow
+
+import (
+	"context"
+
+	"mkos/internal/sim"
+)
+
+func driveNoCtx(e *sim.Engine) {
+	e.Run() // want "drives the simulation via Run but takes no context\\.Context"
+}
+
+func driveUntilNoCtx(e *sim.Engine) {
+	e.RunUntil(100) // want "drives the simulation via RunUntil but takes no context\\.Context"
+}
+
+func driveCtx(ctx context.Context, e *sim.Engine) error {
+	return e.Run()
+}
+
+// Drive and DriveContext are the blessed wrapper pair: the ctx-free
+// convenience form is a single-statement delegation, so neither the
+// Background call nor the delegation is a finding.
+func Drive(e *sim.Engine) error {
+	return DriveContext(context.Background(), e)
+}
+
+func DriveContext(ctx context.Context, e *sim.Engine) error {
+	return e.Run()
+}
+
+func mint() context.Context {
+	return context.Background() // want "minted outside package main"
+}
+
+type holder struct {
+	ctx context.Context // want "struct field stores a context\\.Context"
+}
+
+// suppressedHolder pins the own-line directive's scope on a struct
+// field: it covers exactly the field it sits above, not the rest of the
+// struct.
+type suppressedHolder struct {
+	//simlint:allow ctxflow — corpus example: daemon-lifetime ctx, detached from any call tree by design
+	runCtx context.Context
+	other  context.Context // want "struct field stores a context\\.Context"
+}
+
+func allowedDrive(e *sim.Engine) {
+	//simlint:allow ctxflow — corpus example: run-to-completion helper, cancellation arrives via the engine cancel hook
+	e.Run()
+}

@@ -1,0 +1,18 @@
+// Package ctxflowfix is the ctxflow fix corpus: a Background minted in
+// a function that already has a ctx parameter carries a suggested fix
+// replacing the call with the parameter.
+package ctxflowfix
+
+import (
+	"context"
+
+	"mkos/internal/sim"
+)
+
+func relay(ctx context.Context, e *sim.Engine) error {
+	return drive(context.Background(), e) // want "minted outside package main"
+}
+
+func drive(ctx context.Context, e *sim.Engine) error {
+	return e.Run()
+}

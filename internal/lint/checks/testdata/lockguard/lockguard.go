@@ -1,0 +1,95 @@
+// Package lockguard is the lockguard analyzer corpus: guarded-field
+// annotations in both the sibling and the qualified form, accesses with
+// and without the mutex held, and the conventions the analyzer
+// understands (Locked-suffix methods, constructor-fresh values,
+// lock-free closures).
+package lockguard
+
+import "sync"
+
+type server struct {
+	mu sync.Mutex
+	// state is the mutable core; guarded by mu.
+	state int
+	done  bool // guarded by mu
+}
+
+func bad(s *server) {
+	s.state++ // want "guarded by mu but s\\.mu is not held"
+}
+
+func good(s *server) {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+}
+
+func goodDefer(s *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+}
+
+// badAfterUnlock is the span-end-before-unlock shape: the critical
+// section ended one line too early.
+func badAfterUnlock(s *server) {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	s.done = true // want "guarded by mu but s\\.mu is not held"
+}
+
+// bumpLocked follows the *Locked naming convention: callers hold s.mu.
+func (s *server) bumpLocked() {
+	s.state++
+}
+
+// newServer touches guarded fields of a value it just built — unshared,
+// so no lock is required.
+func newServer() *server {
+	s := &server{}
+	s.state = 1
+	return s
+}
+
+// badClosure takes the lock, but the goroutine body runs after the
+// deferred unlock on whatever schedule the runtime picks.
+func badClosure(s *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.state++ // want "guarded by mu but s\\.mu is not held"
+	}()
+}
+
+func allowed(s *server) {
+	//simlint:allow lockguard — corpus example: single-writer init phase before the server is shared
+	s.state = 7
+}
+
+// owner/campaign model the qualified form: a parent struct's mutex
+// serializes a satellite struct's lifecycle.
+type owner struct {
+	mu    sync.Mutex
+	camps map[string]*campaign
+}
+
+type campaign struct {
+	name string // immutable after creation
+	st   int    // guarded by owner.mu
+}
+
+func badQualified(c *campaign) {
+	c.st = 2 // want "guarded by owner\\.mu but no owner mutex is held"
+}
+
+func goodQualified(o *owner, c *campaign) {
+	o.mu.Lock()
+	c.st = 3
+	o.mu.Unlock()
+}
+
+// broken carries an unenforceable annotation: there is no such mutex.
+type broken struct {
+	v int // guarded by nonesuch // want "no mutex field of that name"
+}

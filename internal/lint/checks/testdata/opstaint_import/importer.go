@@ -1,0 +1,15 @@
+// Package importer is the consuming half of the cross-package opstaint
+// corpus: it never touches the time package itself, so only the taint
+// fact exported for taintsrc.Elapsed can reveal that ms is a host-clock
+// value.
+package importer
+
+import (
+	"mkos/internal/sim"
+	"mkos/internal/simd/taintsrc"
+)
+
+func bad(e *sim.Engine) {
+	ms := taintsrc.Elapsed(taintsrc.Epoch())
+	e.Schedule(sim.Duration(ms), "lag", func(e2 *sim.Engine) {}) // want "flows into sim\\.Engine\\.Schedule"
+}

@@ -1,0 +1,19 @@
+// Package taintsrc is the defining half of the cross-package opstaint
+// corpus: an ops-side helper whose results are wall-clock-derived. The
+// analyzer exports a taint fact for Elapsed while analyzing this
+// package; the importing corpus package sees the fact and flags the
+// flow. No findings here — sources are legal, sinks are not.
+package taintsrc
+
+import "time"
+
+// Elapsed returns host-clock milliseconds since start.
+func Elapsed(start time.Time) int64 {
+	return int64(time.Since(start) / time.Millisecond)
+}
+
+// Epoch is a fixed reference instant: not clock-derived, so callers can
+// hold it without picking up taint.
+func Epoch() time.Time {
+	return time.Time{}
+}

@@ -1,0 +1,24 @@
+// Package simtimefix is the simtime fix corpus: a handler using a stale
+// pre-Schedule clock capture carries a suggested fix reading the live
+// clock from its engine parameter instead.
+package simtimefix
+
+import "mkos/internal/sim"
+
+func bad(e *sim.Engine) {
+	t0 := e.Now()
+	e.Schedule(10, "stale", func(e2 *sim.Engine) {
+		use(t0) // want "captured before the Schedule call"
+	})
+}
+
+// noParam discards the handler engine, so there is nothing to rewrite
+// onto: finding, but no fix.
+func noParam(e *sim.Engine) {
+	t0 := e.Now()
+	e.Schedule(10, "stale", func(_ *sim.Engine) {
+		use(t0) // want "captured before the Schedule call"
+	})
+}
+
+func use(t sim.Time) {}

@@ -30,3 +30,31 @@ func trailingCoversItsLineOnly() {
 	t1 := time.Now() // want "wall-clock time\\.Now"
 	_, _ = t0, t1
 }
+
+// multiLineStatementFullyCovered pins the own-line scope to the complete
+// statement: the directive sits above a call whose arguments span four
+// lines, and every finding inside it — including one on the last line —
+// is suppressed. The statement after it is not.
+func multiLineStatementFullyCovered() {
+	//simlint:allow walltime — corpus example: the whole multi-line statement is covered
+	consume(
+		time.Now(),
+		time.Now(),
+		time.Now())
+	t := time.Now() // want "wall-clock time\\.Now"
+	_ = t
+}
+
+// multiLineBlockFullyCovered does the same for a statement with a nested
+// block: an if whose body spans lines.
+func multiLineBlockFullyCovered(cond bool) {
+	//simlint:allow walltime — corpus example: the directive covers the if statement and its body
+	if cond {
+		t := time.Now()
+		_ = t
+	}
+	t := time.Now() // want "wall-clock time\\.Now"
+	_ = t
+}
+
+func consume(a, b, c time.Time) {}

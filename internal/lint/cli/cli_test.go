@@ -98,6 +98,126 @@ func TestExitCodeContract(t *testing.T) {
 	}
 }
 
+// simSrc is a miniature engine under an internal/sim path suffix, enough
+// for the simtime analyzer to recognize schedulers and produce a
+// suggested fix.
+const simSrc = `package sim
+
+type Time int64
+type Duration int64
+
+type Engine struct{}
+
+func (e *Engine) Now() Time                                    { return 0 }
+func (e *Engine) Schedule(d Duration, n string, f func(*Engine)) {}
+`
+
+// fixableSrc carries a stale-capture finding whose fix (use(t0) ->
+// use(e2.Now())) leaves t0 alive via the outer return, so the rewritten
+// package still compiles.
+const fixableSrc = `package m
+
+import "fakemod/internal/sim"
+
+func Bad(e *sim.Engine) sim.Time {
+	t0 := e.Now()
+	e.Schedule(10, "x", func(e2 *sim.Engine) {
+		use(t0)
+	})
+	return t0
+}
+
+func use(t sim.Time) {}
+`
+
+// fixGolden pins the -json document byte-for-byte under -fix: stable
+// field order (check, file, line, col, message, then fix with message,
+// edits, applied) and the applied mark on the rewritten finding. $DIR
+// stands for the throwaway module root.
+const fixGolden = `{
+  "findings": [
+    {
+      "check": "walltime",
+      "file": "$DIR/b/b.go",
+      "line": 5,
+      "col": 29,
+      "message": "wall-clock time.Now in deterministic package fakemod/b: simulated time must come from the engine (sim.Engine.Now, sim.Timer); wall clock is legal only in ops-side packages (internal/sweep, cmd/*)"
+    },
+    {
+      "check": "simtime",
+      "file": "$DIR/m/m.go",
+      "line": 8,
+      "col": 7,
+      "message": "handler uses t0, a Now() value captured before the Schedule call: by the time the event fires the clock has advanced — read the engine's clock inside the handler (e.Now())",
+      "fix": {
+        "message": "read the live clock: replace t0 with e2.Now()",
+        "edits": 1,
+        "applied": true
+      }
+    }
+  ]
+}
+`
+
+// TestFixContract drives simlint -fix end to end: the JSON document
+// matches the golden (field order is part of the contract), the fixable
+// finding is rewritten on disk, the unfixable walltime finding keeps the
+// exit at 1, and a second -fix run changes nothing (idempotence). A tree
+// whose only finding is fixable exits 0 after the rewrite.
+func TestFixContract(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/sim/sim.go": simSrc,
+		"m/m.go":              fixableSrc,
+		"b/b.go":              dirtySrc,
+	})
+	var stdout, stderr bytes.Buffer
+	if got := cli.Run([]string{"-fix", "-json", "-dir", dir}, &stdout, &stderr); got != cli.ExitFindings {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			got, cli.ExitFindings, stdout.String(), stderr.String())
+	}
+	got := strings.ReplaceAll(stdout.String(), dir, "$DIR")
+	if got != fixGolden {
+		t.Errorf("-fix -json document differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, fixGolden)
+	}
+	rewritten, err := os.ReadFile(filepath.Join(dir, "m", "m.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rewritten), "use(e2.Now())") {
+		t.Errorf("-fix did not rewrite the stale capture:\n%s", rewritten)
+	}
+
+	// Idempotence: a second -fix run applies nothing and leaves every
+	// byte in place.
+	stdout.Reset()
+	stderr.Reset()
+	if got := cli.Run([]string{"-fix", "-dir", dir}, &stdout, &stderr); got != cli.ExitFindings {
+		t.Fatalf("second -fix exit = %d, want %d\nstderr:\n%s", got, cli.ExitFindings, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "applied 0 fix(es)") {
+		t.Errorf("second -fix run applied something:\n%s", stderr.String())
+	}
+	again, err := os.ReadFile(filepath.Join(dir, "m", "m.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rewritten, again) {
+		t.Errorf("second -fix run changed the file")
+	}
+
+	// A tree whose only finding has a fix comes out clean.
+	onlyFixable := writeModule(t, map[string]string{
+		"internal/sim/sim.go": simSrc,
+		"m/m.go":              fixableSrc,
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if got := cli.Run([]string{"-fix", "-dir", onlyFixable}, &stdout, &stderr); got != cli.ExitClean {
+		t.Fatalf("fixable-only exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			got, cli.ExitClean, stdout.String(), stderr.String())
+	}
+}
+
 // TestJSONDocumentShape checks the CI artifact is a well-formed document
 // with the fields the annotation step indexes.
 func TestJSONDocumentShape(t *testing.T) {

@@ -13,9 +13,17 @@
 // diagnostic. //simlint:allow suppressions are applied before matching,
 // so corpora demonstrate accepted suppressions simply by carrying an
 // allow directive and no want.
+//
+// Two further entry points serve the v2 framework: RunDirs loads several
+// corpus directories through one shared loader — the ordered, identity-
+// sharing load is what lets object facts exported while analyzing one
+// corpus package be found when its importer is analyzed — and RunFix
+// applies every suggested fix in memory and compares the rewritten files
+// against checked-in .golden siblings.
 package linttest
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -43,17 +51,99 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
 // "simlint" diagnostics alongside the analyzer's own.
 func RunAnalyzers(t *testing.T, as []*analysis.Analyzer, dir, pkgPath string) {
 	t.Helper()
+	RunDirs(t, as, Dir{Path: dir, PkgPath: pkgPath})
+}
+
+// Dir names one corpus directory and the import path to load it under.
+type Dir struct {
+	Path    string
+	PkgPath string
+}
+
+// RunDirs loads every corpus directory in order through one shared
+// loader and runs the analyzers over all of them together. Later dirs
+// may import earlier ones by their fake PkgPath — the loader resolves
+// the import to the already-loaded instance, so cross-package facts flow
+// exactly as they do in a tree-wide run. Want-comments are matched
+// across all dirs at once.
+func RunDirs(t *testing.T, as []*analysis.Analyzer, dirs ...Dir) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	var pkgs []*analysis.Package
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(d.Path, d.PkgPath)
+		if err != nil {
+			t.Fatalf("loading corpus %s: %v", d.Path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(pkgs, as)
+	if err != nil {
+		t.Fatalf("running %d analyzer(s): %v", len(as), err)
+	}
+	var wants []want
+	for _, d := range dirs {
+		wants = append(wants, collectWants(t, d.Path)...)
+	}
+	matchWants(t, diags, wants)
+}
+
+// RunFix runs a over the corpus, matches want-comments as Run does, then
+// applies every suggested fix in memory and compares each rewritten file
+// to its checked-in <name>.golden sibling. Every .golden in the corpus
+// must be produced and every rewritten file must have a .golden — fixes
+// and expectations cannot drift apart silently.
+func RunFix(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
 	loader := analysis.NewLoader()
 	pkg, err := loader.LoadDir(dir, pkgPath)
 	if err != nil {
 		t.Fatalf("loading corpus %s: %v", dir, err)
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, as)
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
 	if err != nil {
-		t.Fatalf("running %d analyzer(s) on %s: %v", len(as), dir, err)
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}
+	matchWants(t, diags, collectWants(t, dir))
 
-	wants := collectWants(t, dir)
+	res, err := analysis.ApplyFixes(loader.Fset, diags)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if res.Applied == 0 {
+		t.Fatalf("fix corpus %s produced no applicable fixes", dir)
+	}
+	for filename, content := range res.Files {
+		golden := filename + ".golden"
+		wantBytes, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("fix rewrote %s but no golden exists: %v", filename, err)
+			continue
+		}
+		if !bytes.Equal(content, wantBytes) {
+			t.Errorf("fixed %s differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+				filename, golden, content, wantBytes)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus dir: %v", err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".golden") {
+			continue
+		}
+		src := filepath.Join(dir, strings.TrimSuffix(e.Name(), ".golden"))
+		if _, ok := res.Files[src]; !ok {
+			t.Errorf("golden %s has no corresponding rewritten file", e.Name())
+		}
+	}
+}
+
+// matchWants pairs diagnostics with want-comments one-to-one and reports
+// both unmet wants and unclaimed diagnostics.
+func matchWants(t *testing.T, diags []analysis.Diagnostic, wants []want) {
+	t.Helper()
 	matched := make([]bool, len(diags))
 	for _, w := range wants {
 		found := false

@@ -43,6 +43,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -240,10 +241,30 @@ type runner struct {
 }
 
 // Run executes the model across cfg.Shards parallel engines and returns the
-// folded result. The returned error is the lowest-indexed shard's failure
-// (model error, engine interruption, or a recovered model panic); the Result
-// is returned alongside it with whatever completed.
+// folded result. It is the ctx-free convenience form of RunContext;
+// cancellation, if any, arrives through cfg.Cancel.
 func Run(cfg Config, m Model) (*Result, error) {
+	return RunContext(context.Background(), cfg, m)
+}
+
+// RunContext executes the model across cfg.Shards parallel engines and
+// returns the folded result. The returned error is the lowest-indexed
+// shard's failure (model error, engine interruption, or a recovered model
+// panic); the Result is returned alongside it with whatever completed.
+//
+// Ending ctx stops the run exactly as a true cfg.Cancel return would: the
+// predicate merges into the per-engine cancel hook, every shard settles
+// cooperatively between events, and the run reports sim.ErrCanceled.
+func RunContext(ctx context.Context, cfg Config, m Model) (*Result, error) {
+	if done := ctx.Done(); done != nil {
+		inner := cfg.Cancel
+		cfg.Cancel = func() bool {
+			if ctx.Err() != nil {
+				return true
+			}
+			return inner != nil && inner()
+		}
+	}
 	if cfg.Lookahead <= 0 {
 		return nil, fmt.Errorf("%w: lookahead %v", ErrBadConfig, cfg.Lookahead)
 	}
@@ -284,7 +305,7 @@ func Run(cfg Config, m Model) (*Result, error) {
 			// shard is isolated on its own sink exactly like a sweep trial,
 			// and the snapshots fold in shard order afterwards.
 			//simlint:allow sinkdiscipline — shard runner is orchestrator plumbing: per-shard sink isolation, folded deterministically in shard order
-			telemetry.RunWith(s.Sink, func() { r.shardLoop(s) })
+			telemetry.RunWith(s.Sink, func() { r.shardLoop(ctx, s) })
 		}(shards[i])
 	}
 
@@ -349,8 +370,10 @@ func Run(cfg Config, m Model) (*Result, error) {
 }
 
 // shardLoop is one shard's life: set up, then alternate barrier exchanges
-// with released windows until the coordinator ends the run.
-func (r *runner) shardLoop(s *Shard) {
+// with released windows until the coordinator ends the run. ctx is the
+// run's cancellation scope: a dead ctx stops the shard before the next
+// window opens (the merged cancel hook handles mid-window stops).
+func (r *runner) shardLoop(ctx context.Context, s *Shard) {
 	err := safely(func() error { return r.model.Setup(s) })
 	for w := 0; ; w++ {
 		sent, cross, xerr := r.exchange(s, err != nil)
@@ -362,6 +385,9 @@ func (r *runner) shardLoop(s *Shard) {
 		cmd := <-r.cmds[s.Index]
 		if !cmd.run {
 			return
+		}
+		if err == nil && ctx.Err() != nil {
+			err = sim.ErrCanceled
 		}
 		if err == nil {
 			err = safely(func() error { return s.Engine.RunUntil(cmd.until) })

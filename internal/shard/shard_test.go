@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -241,6 +242,29 @@ func TestCancelStopsTheRun(t *testing.T) {
 	}, m)
 	if !errors.Is(err, sim.ErrCanceled) {
 		t.Fatalf("Run: %v, want sim.ErrCanceled", err)
+	}
+}
+
+// TestContextCancelStopsTheRun pins the RunContext contract: a dead ctx
+// stops the run through the same cooperative path as a true Config.Cancel
+// return, reporting sim.ErrCanceled, and a cfg.Cancel predicate supplied
+// alongside a ctx still works (the two merge rather than replace).
+func TestContextCancelStopsTheRun(t *testing.T) {
+	m := newRingModel(32, 1000, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Config{Nodes: 32, Shards: 4, Lookahead: testLookahead}, m)
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("RunContext with dead ctx: %v, want sim.ErrCanceled", err)
+	}
+
+	m = newRingModel(32, 1000, 7)
+	_, err = RunContext(context.Background(), Config{
+		Nodes: 32, Shards: 4, Lookahead: testLookahead,
+		Cancel: func() bool { return true },
+	}, m)
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("RunContext with live ctx but true Cancel: %v, want sim.ErrCanceled", err)
 	}
 }
 

@@ -72,6 +72,7 @@ type Server struct {
 	hardKill atomic.Bool
 	reqSeq   atomic.Int64
 
+	//simlint:allow ctxflow — daemon-lifetime context: born in NewServer, canceled by Drain/Kill; it scopes the dispatcher pool, not any single call
 	runCtx    context.Context
 	runCancel context.CancelFunc
 	wg        sync.WaitGroup
@@ -125,6 +126,7 @@ func NewServer(opts Options) (*Server, error) {
 		camps:  make(map[string]*campaign),
 	}
 	s.latency = s.ops.Histogram("simd.submit_to_result_ms", telemetry.ExpBuckets(1, 2, 20))
+	//simlint:allow ctxflow — root of the daemon-lifetime context; cancellation comes from Drain/Kill, not a caller
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.buildMux()
 	if err := s.recover(); err != nil {
@@ -169,6 +171,7 @@ func (s *Server) recover() error {
 		c.st.State = StateQueued
 		c.st.Total = len(built.Trials)
 		c.st.Executed, c.st.Cached, c.st.Failed, c.st.Err = 0, 0, 0, ""
+		//simlint:allow ctxflow — recovery runs before Start; there is no inbound request whose ctx these spans could inherit
 		c.span, c.waitSpan = s.openSpans(context.Background(), sc.id, "recovered")
 		s.camps[sc.id] = c
 		// Recovered work bypasses the admission bounds: it was admitted by a
@@ -214,7 +217,7 @@ func (s *Server) Start() {
 					return
 				}
 				s.gaugeDepth()
-				s.runCampaign(c)
+				s.runCampaign(s.runCtx, c)
 			}
 		}()
 	}
@@ -261,9 +264,10 @@ func (s *Server) Kill() {
 }
 
 // runCampaign executes one campaign through the sweep orchestrator and
-// settles its state.
-func (s *Server) runCampaign(c *campaign) {
-	ctx, cancel := context.WithCancel(s.runCtx)
+// settles its state. ctx is the dispatcher's run context: canceling it
+// (drain deadline, hard kill) cancels the sweep.
+func (s *Server) runCampaign(ctx context.Context, c *campaign) {
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	s.mu.Lock()
 	c.cancel = cancel
@@ -477,6 +481,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	}
 	s.log.Info("draining: admission closed, finishing or journaling in-flight campaigns")
 	s.Drain()
+	//simlint:allow ctxflow — shutdown runs after ctx.Done fired; deriving the HTTP-shutdown deadline from the already-canceled parent would skip the grace period
 	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return srv.Shutdown(shctx)
@@ -590,7 +595,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if c, ok := s.camps[id]; ok {
 		if c.busy && c.st.Terminal() && c.built != nil {
-			s.requeueBusy(w, r, c)
+			s.requeueBusyLocked(w, r, c)
 			return
 		}
 		st := c.st
@@ -684,10 +689,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, st)
 }
 
-// requeueBusy retries a campaign that previously failed on a held journal:
-// the resubmission is the operator's signal that the other daemon may be
-// gone. Called with s.mu held; releases it.
-func (s *Server) requeueBusy(w http.ResponseWriter, r *http.Request, c *campaign) {
+// requeueBusyLocked retries a campaign that previously failed on a held
+// journal: the resubmission is the operator's signal that the other daemon
+// may be gone. Called with s.mu held; releases it.
+func (s *Server) requeueBusyLocked(w http.ResponseWriter, r *http.Request, c *campaign) {
 	c.busy = false
 	c.cancelReq = false
 	c.st.State = StateQueued

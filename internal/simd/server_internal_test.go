@@ -1,6 +1,7 @@
 package simd
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -61,12 +62,70 @@ func TestPreDispatchCancelTakesEffect(t *testing.T) {
 	s.camps[id] = c
 	s.mu.Unlock()
 
-	s.runCampaign(c)
+	s.runCampaign(s.runCtx, c)
 
 	s.mu.Lock()
 	state := c.st.State
 	s.mu.Unlock()
 	if state != StateCanceled {
 		t.Fatalf("pre-dispatch cancel settled campaign as %s, want %s", state, StateCanceled)
+	}
+}
+
+// TestRunCampaignHonorsDispatcherContext pins the ctx-threading contract:
+// runCampaign's cancellation scope is the context its dispatcher passes in,
+// not a context reached through Server fields. A dispatcher context that is
+// already dead must interrupt the sweep (trials journaled, campaign left
+// resumable) rather than let it run to completion and settle Done.
+func TestRunCampaignHonorsDispatcherContext(t *testing.T) {
+	build := func(spec *campaigns.Spec) (*sweep.Campaign, error) {
+		c := &sweep.Campaign{Name: spec.Name, Seed: spec.Seed}
+		c.Trials = append(c.Trials, sweep.Trial{
+			Key:  spec.Name + "/t000",
+			Spec: map[string]int{"i": 0},
+			Run: func(tr *sweep.T) (any, error) {
+				for i := 0; i < 200; i++ {
+					if tr.Canceled() {
+						return nil, sweep.ErrTrialCanceled
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				return map[string]int64{"seed": tr.Seed}, nil
+			},
+		})
+		return c, nil
+	}
+	s, err := NewServer(Options{Store: t.TempDir(), Build: build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	spec := []byte(`{"name":"ctxdead","seed":1,"runs":1}`)
+	id, parsed, err := SpecID(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := build(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &campaign{
+		id: id, canon: spec, built: built, submitted: time.Now(),
+		st: Status{ID: id, Client: "ctxdead", State: StateQueued, Total: 1},
+	}
+	s.mu.Lock()
+	s.camps[id] = c
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.runCampaign(ctx, c)
+
+	s.mu.Lock()
+	state := c.st.State
+	s.mu.Unlock()
+	if state != StateInterrupted {
+		t.Fatalf("dead dispatcher ctx settled campaign as %s, want %s", state, StateInterrupted)
 	}
 }
