@@ -2,7 +2,7 @@ GO ?= go
 J ?= 0
 SWEEP_SPEC ?= specs/ci-sweep.json
 
-.PHONY: all build fmt vet lint lint-fix lint-fix-clean test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep simd-race simd-chaos simd-load simd-obs shard-race shard-determinism bench-engine bench-shard
+.PHONY: all build fmt vet lint lint-fix lint-fix-clean test race check determinism sweep sweep-race sweep-determinism sweep-interrupt bench-sweep simd-race simd-chaos simd-supervise simd-load simd-obs shard-race shard-determinism bench-engine bench-shard
 
 all: check
 
@@ -95,6 +95,14 @@ simd-race:
 simd-chaos:
 	sh scripts/simd-chaos-check.sh $(SWEEP_SPEC) /tmp/mkos-simd-chaos
 
+# simd-supervise is the worker-supervision gate: SIGKILL the supervised
+# worker process twice mid-campaign (daemon stays up) and require
+# completion with zero re-executed trials and byte-identical artifacts;
+# then a poison campaign whose worker dies on every spawn must trip the
+# crash-loop breaker while a concurrent healthy campaign completes.
+simd-supervise:
+	sh scripts/simd-supervise-check.sh specs/simd-supervise.json /tmp/mkos-simd-supervise
+
 # simd-load floods the daemon — 200 clients submitting one identical tiny
 # campaign (must collapse to one execution), then 60 distinct campaigns
 # against a tiny queue (overflow must be refused and accounted) — and
@@ -146,4 +154,4 @@ determinism:
 # check is what CI runs: formatting, vet, the simlint invariant gate,
 # build, the full suite under the race detector, the determinism gates,
 # and the daemon chaos/load gates.
-check: fmt vet lint build race determinism sweep-determinism sweep-interrupt simd-chaos simd-load simd-obs shard-determinism
+check: fmt vet lint build race determinism sweep-determinism sweep-interrupt simd-chaos simd-supervise simd-load simd-obs shard-determinism

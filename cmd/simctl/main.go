@@ -364,6 +364,15 @@ func printStatus(st simd.Status, asJSON bool) {
 	if st.Deduped {
 		fmt.Printf(" deduped=true")
 	}
+	if st.Restarts > 0 {
+		fmt.Printf(" restarts=%d", st.Restarts)
+	}
+	if st.LastExit != "" {
+		fmt.Printf(" last_exit=%q", st.LastExit)
+	}
+	if st.Breaker != "" {
+		fmt.Printf(" breaker=%s", st.Breaker)
+	}
 	if st.Err != "" {
 		fmt.Printf(" err=%q", st.Err)
 	}
@@ -383,15 +392,15 @@ func printStats(st simd.Stats, blob []byte, asJSON bool) {
 	}
 	fmt.Printf("draining=%v queue_depth=%d\n", st.Draining, st.QueueDepth)
 	fmt.Printf("admitted=%d deduped=%d resumed=%d\n", st.Admitted, st.Deduped, st.Resumed)
-	fmt.Printf("rejected_total=%d rejected_queue_full=%d rejected_client_backlog=%d rejected_draining=%d\n",
-		st.Rejected.Total(), st.Rejected.QueueFull, st.Rejected.ClientBacklog, st.Rejected.Draining)
+	fmt.Printf("rejected_total=%d rejected_queue_full=%d rejected_client_backlog=%d rejected_draining=%d rejected_no_space=%d\n",
+		st.Rejected.Total(), st.Rejected.QueueFull, st.Rejected.ClientBacklog, st.Rejected.Draining, st.Rejected.NoSpace)
 	fmt.Printf("trials_executed=%d trials_cached=%d trials_failed=%d cache_hit_rate=%.3f\n",
 		st.Trials.Executed, st.Trials.Cached, st.Trials.Failed, st.CacheHitRate)
 	fmt.Printf("latency_count=%d latency_p50_ms=%.1f latency_p90_ms=%.1f latency_p99_ms=%.1f latency_max_ms=%.1f\n",
 		st.SubmitToResultMS.Count, st.SubmitToResultMS.P50, st.SubmitToResultMS.P90,
 		st.SubmitToResultMS.P99, st.SubmitToResultMS.Max)
 	// Campaign state counts in fixed order (stable output for shell parsing).
-	for _, state := range []string{"queued", "running", "done", "failed", "canceled", "interrupted"} {
+	for _, state := range []string{"queued", "running", "done", "failed", "canceled", "interrupted", "crash_loop"} {
 		fmt.Printf("campaigns_%s=%d ", state, st.Campaigns[state])
 	}
 	fmt.Println()

@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+)
+
+// ErrShortWrite is the injected error accompanying a truncated store write:
+// the fault hands the store a prefix of the intended bytes and this error,
+// modeling a write(2) that returned early on a failing device.
+var ErrShortWrite = errors.New("chaos: injected short write")
+
+// StoreFaults is the fault-injecting store hook: wired into a store.Dir's
+// Fault seam it subjects every atomic write to a seeded schedule of short
+// writes and, past a budget, a full disk. The store's contract under these
+// faults — temp files cleaned up, targets never torn, ENOSPC surfaced as a
+// typed error — is what the integrity tests assert.
+//
+// The i-th write consults Plan.Int(Name, i, 0, 99): values below ShortPct
+// become short writes (half the bytes land in the temp file, ErrShortWrite
+// is returned). Independently, once NoSpaceAfter writes have been attempted
+// (when > 0), every further write fails with ENOSPC before writing anything
+// — a disk does not un-fill itself.
+type StoreFaults struct {
+	// Plan seeds the schedule; nil injects nothing.
+	Plan *Plan
+	// Name is the schedule name; empty means "store-write".
+	Name string
+	// ShortPct is the percentage of writes truncated (0-100).
+	ShortPct int
+	// NoSpaceAfter, when > 0, makes every write past the first N fail with
+	// ENOSPC.
+	NoSpaceAfter int
+
+	mu sync.Mutex
+	n  int
+}
+
+// Fault implements the store's WriteFault seam (func(path string, blob
+// []byte) ([]byte, error)).
+func (s *StoreFaults) Fault(path string, blob []byte) ([]byte, error) {
+	if s == nil || (s.Plan == nil && s.NoSpaceAfter <= 0) {
+		return blob, nil
+	}
+	s.mu.Lock()
+	i := s.n
+	s.n++
+	s.mu.Unlock()
+	if s.NoSpaceAfter > 0 && i >= s.NoSpaceAfter {
+		return nil, fmt.Errorf("chaos: injected full disk writing %s: %w", path, syscall.ENOSPC)
+	}
+	name := s.Name
+	if name == "" {
+		name = "store-write"
+	}
+	if s.Plan != nil && s.ShortPct > 0 && s.Plan.Int(name, i, 0, 99) < s.ShortPct {
+		return blob[:len(blob)/2], fmt.Errorf("chaos: %w: %s (%d of %d bytes)", ErrShortWrite, path, len(blob)/2, len(blob))
+	}
+	return blob, nil
+}
+
+// Writes reports how many writes the hook has inspected.
+func (s *StoreFaults) Writes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -98,14 +98,21 @@ func (e *apiError) Error() string {
 
 // retryable reports whether the failure is worth another attempt: transport
 // errors (daemon down or restarting) and explicit backpressure are; typed
-// client mistakes (bad spec, unknown id) are not.
+// client mistakes (bad spec, unknown id) are not. 409s are retried only for
+// their transient typed reasons — journal_busy (a deployment overlap that
+// clears when the other daemon exits) and not_done (results polled a moment
+// early) — so a conflict that will never resolve by waiting fails fast
+// instead of burning the whole backoff schedule. 507 (disk full) never
+// retries: it clears when an operator frees space, not when the client waits.
 func retryable(err error) bool {
 	var ae *apiError
 	if errors.As(err, &ae) {
 		switch ae.code {
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable,
-			http.StatusConflict, http.StatusInternalServerError:
+			http.StatusInternalServerError:
 			return true
+		case http.StatusConflict:
+			return ae.resp.Error == ReasonJournalBusy || ae.resp.Error == ReasonNotDone
 		}
 		return false
 	}

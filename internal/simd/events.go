@@ -27,6 +27,10 @@ type Event struct {
 	Total    int     `json:"total,omitempty"`
 	// ETAMS estimates the remaining campaign wall time; 0 when unknown.
 	ETAMS int64 `json:"eta_ms,omitempty"`
+
+	// Worker fields (Type "worker": a supervised worker died and will be
+	// restarted; Err carries the exit cause).
+	Restarts int `json:"restarts,omitempty"`
 }
 
 // subBuffer is the per-subscriber channel depth. A subscriber that falls

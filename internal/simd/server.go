@@ -15,6 +15,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	cas "mkos/internal/simd/store"
+	"mkos/internal/simd/worker"
 	"mkos/internal/sweep"
 	"mkos/internal/sweep/campaigns"
 	"mkos/internal/telemetry"
@@ -111,7 +113,7 @@ func NewServer(opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
-	st, err := openStore(opts.Store)
+	st, err := openStore(opts.Store, opts.StoreFault)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +131,22 @@ func NewServer(opts Options) (*Server, error) {
 	//simlint:allow ctxflow — root of the daemon-lifetime context; cancellation comes from Drain/Kill, not a caller
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.buildMux()
+	// Scrub before recovery: recovery must never trust a corrupt spec or mark
+	// a campaign done on the strength of corrupt results.
+	rep, err := st.scrub()
+	if err != nil {
+		return nil, fmt.Errorf("simd: store scrub: %w", err)
+	}
+	if len(rep.Quarantined) > 0 {
+		s.ops.Counter("simd.store.quarantined").Add(int64(len(rep.Quarantined)))
+		s.log.Warn(fmt.Sprintf("store scrub quarantined %d corrupt artifacts", len(rep.Quarantined)),
+			oplog.F("quarantined", len(rep.Quarantined)), oplog.F("checked", rep.Checked),
+			oplog.F("paths", fmt.Sprint(rep.Quarantined)))
+	}
+	if rep.Checked > 0 || rep.Backfilled > 0 {
+		s.log.Debug(fmt.Sprintf("store scrub verified %d artifacts (%d sidecars backfilled)", rep.Checked, rep.Backfilled),
+			oplog.F("checked", rep.Checked), oplog.F("backfilled", rep.Backfilled))
+	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -149,7 +167,18 @@ func (s *Server) recover() error {
 		st := sc.status
 		st.ID = sc.id // trust the directory name over a torn status
 		c := &campaign{id: sc.id, canon: sc.spec, st: st, submitted: time.Now()}
-		if c.st.Terminal() {
+		resume := !c.st.Terminal()
+		if !resume && c.st.State == StateDone {
+			// A done status must have verifiable results behind it; if the
+			// scrubber quarantined them (or they vanished), the journal still
+			// holds every trial, so re-running is cheap and restores them.
+			if _, rerr := s.store.results(sc.id); rerr != nil {
+				resume = true
+				s.log.Warn(fmt.Sprintf("campaign %s results missing or corrupt; re-running from journal", sc.id),
+					oplog.F("campaign", sc.id), oplog.F("err", rerr.Error()))
+			}
+		}
+		if !resume {
 			s.camps[sc.id] = c
 			continue
 		}
@@ -171,6 +200,7 @@ func (s *Server) recover() error {
 		c.st.State = StateQueued
 		c.st.Total = len(built.Trials)
 		c.st.Executed, c.st.Cached, c.st.Failed, c.st.Err = 0, 0, 0, ""
+		c.st.Restarts, c.st.LastExit, c.st.Breaker = 0, "", ""
 		//simlint:allow ctxflow — recovery runs before Start; there is no inbound request whose ctx these spans could inherit
 		c.span, c.waitSpan = s.openSpans(context.Background(), sc.id, "recovered")
 		s.camps[sc.id] = c
@@ -263,16 +293,40 @@ func (s *Server) Kill() {
 	s.events.closeAll()
 }
 
-// runCampaign executes one campaign through the sweep orchestrator and
-// settles its state. ctx is the dispatcher's run context: canceling it
-// (drain deadline, hard kill) cancels the sweep.
+// runCampaign executes one campaign — in process through the sweep
+// orchestrator, or out of process through a supervised worker when
+// Options.Worker.Cmd is set — and settles its state. ctx is the dispatcher's
+// run context: canceling it (drain deadline, hard kill) cancels the sweep.
 func (s *Server) runCampaign(ctx context.Context, c *campaign) {
+	workerMode := len(s.opts.Worker.Cmd) > 0
+	if c.built == nil {
+		// Requeued after a terminal state (crash_loop, journal conflict) by a
+		// daemon that recovered it from disk: rebuild from the canonical spec.
+		spec, perr := campaigns.ParseSpec(c.canon)
+		var built *sweep.Campaign
+		if perr == nil {
+			built, perr = s.opts.Build(spec)
+		}
+		if perr != nil {
+			s.mu.Lock()
+			c.waitSpan.End(ops.Arg{Key: "outcome", Val: "rejected"})
+			s.mu.Unlock()
+			s.settle(c, StateFailed, nil, fmt.Sprintf("rebuild: %v", perr))
+			return
+		}
+		s.mu.Lock()
+		c.built = built
+		s.mu.Unlock()
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	s.mu.Lock()
 	c.cancel = cancel
 	preCanceled := c.cancelReq
 	c.st.State = StateRunning
+	if workerMode {
+		c.st.Breaker = "closed"
+	}
 	c.runStart = time.Now()
 	st := c.st
 	span, waitSpan := c.span, c.waitSpan
@@ -298,6 +352,10 @@ func (s *Server) runCampaign(ctx context.Context, c *campaign) {
 	// span the submit request opened.
 	rctx := ops.WithSpan(ops.Attach(ctx, s.tracer), span)
 	rctx, runSpan := ops.Start(rctx, "run")
+	if workerMode {
+		s.runWorker(rctx, runSpan, c)
+		return
+	}
 	o, err := sweep.RunContext(rctx, c.built, sweep.Options{
 		Workers:      s.opts.Workers,
 		CacheDir:     s.store.cacheDir(),
@@ -329,14 +387,14 @@ func (s *Server) runCampaign(ctx context.Context, c *campaign) {
 		results := resultsJSON(o)
 		var metrics bytes.Buffer
 		if _, werr := o.Registry.WriteTo(&metrics); werr != nil {
-			s.settle(c, StateFailed, o, fmt.Sprintf("rendering metrics: %v", werr))
+			s.settle(c, StateFailed, outcomeTally(o), fmt.Sprintf("rendering metrics: %v", werr))
 			return
 		}
 		if aerr := s.store.putArtifacts(c.id, results, metrics.Bytes()); aerr != nil {
-			s.settle(c, StateFailed, o, fmt.Sprintf("writing artifacts: %v", aerr))
+			s.settle(c, StateFailed, outcomeTally(o), fmt.Sprintf("writing artifacts: %v", aerr))
 			return
 		}
-		s.settle(c, StateDone, o, "")
+		s.settle(c, StateDone, outcomeTally(o), "")
 		s.log.Info(fmt.Sprintf("campaign %s: %d trials: %d executed, %d cached, %d failed",
 			c.id, len(o.Results), o.Executed, o.Cached, o.Failed),
 			oplog.F("campaign", c.id), oplog.F("executed", o.Executed),
@@ -345,7 +403,7 @@ func (s *Server) runCampaign(ctx context.Context, c *campaign) {
 	case errors.Is(err, sweep.ErrInterrupted):
 		switch {
 		case canceled:
-			s.settle(c, StateCanceled, o, "")
+			s.settle(c, StateCanceled, outcomeTally(o), "")
 			s.log.Info(fmt.Sprintf("campaign %s canceled (%d trials unfinished)", c.id, o.Canceled),
 				oplog.F("campaign", c.id), oplog.F("unfinished", o.Canceled))
 		default:
@@ -353,7 +411,7 @@ func (s *Server) runCampaign(ctx context.Context, c *campaign) {
 			// Finished trials are already journaled; persist the
 			// interruption (unless we are simulating a crash, which gets no
 			// courtesy writes) so the next incarnation requeues it.
-			s.settle(c, StateInterrupted, o, "")
+			s.settle(c, StateInterrupted, outcomeTally(o), "")
 			s.log.Info(fmt.Sprintf("campaign %s interrupted: %d trials journaled for resume", c.id, o.Executed+o.Cached),
 				oplog.F("campaign", c.id), oplog.F("journaled", o.Executed+o.Cached))
 		}
@@ -366,26 +424,203 @@ func (s *Server) runCampaign(ctx context.Context, c *campaign) {
 		s.mu.Lock()
 		c.busy = true
 		s.mu.Unlock()
-		s.settle(c, StateFailed, o, err.Error())
+		s.settle(c, StateFailed, outcomeTally(o), err.Error())
 		s.log.Warn(fmt.Sprintf("campaign %s journal is held by another daemon", c.id),
 			oplog.F("campaign", c.id), oplog.F("err", err.Error()))
 
 	default:
-		s.settle(c, StateFailed, o, err.Error())
+		s.settle(c, StateFailed, outcomeTally(o), err.Error())
 		s.log.Error(fmt.Sprintf("campaign %s failed", c.id),
 			oplog.F("campaign", c.id), oplog.F("err", err.Error()))
 	}
 }
 
+// runWorker executes one campaign out of process through a supervised worker
+// (internal/simd/worker). The worker writes the journal and the artifacts;
+// the supervisor restarts it across deaths; this side relays trial events,
+// mirrors restart accounting into the campaign status, and settles from the
+// terminal Result.
+func (s *Server) runWorker(ctx context.Context, runSpan *ops.Span, c *campaign) {
+	w := s.opts.Worker
+	// Preflight the journal flock so a cross-daemon conflict is detected
+	// without burning worker incarnations into the crash-loop breaker. The
+	// probe releases the flock on every path (it belongs to the probe's
+	// descriptor); other probe errors are left for the worker to report with
+	// full context.
+	if _, perr := sweep.ProbeJournal(s.store.cacheDir(), s.opts.Version, c.built.Name, c.built.Seed); errors.Is(perr, sweep.ErrJournalBusy) {
+		s.mu.Lock()
+		c.cancel = nil
+		c.busy = true
+		s.mu.Unlock()
+		runSpan.End(ops.Arg{Key: "err", Val: perr.Error()})
+		s.settle(c, StateFailed, nil, perr.Error())
+		s.log.Warn(fmt.Sprintf("campaign %s journal is held by another daemon", c.id),
+			oplog.F("campaign", c.id), oplog.F("err", perr.Error()))
+		return
+	}
+	sup := &worker.Supervisor{
+		Cmd:              w.Cmd,
+		Env:              w.Env,
+		RSSLimit:         w.RSSLimit,
+		Deadline:         w.Deadline,
+		HeartbeatTimeout: w.HeartbeatTimeout,
+		CrashLoopK:       w.CrashLoopK,
+		BackoffBase:      w.BackoffBase,
+		BackoffMax:       w.BackoffMax,
+		JournalPath:      sweep.JournalPath(s.store.cacheDir(), s.opts.Version, c.built.Name, c.built.Seed),
+		OnSpawn: func(attempt, pid int) {
+			s.log.Info(fmt.Sprintf("campaign %s worker spawned (attempt %d, pid %d)", c.id, attempt, pid),
+				oplog.F("campaign", c.id), oplog.F("attempt", attempt), oplog.F("pid", pid))
+			if w.SpawnHook != nil {
+				w.SpawnHook(c.built.Name, attempt, pid)
+			}
+		},
+		OnTrial: func(ev worker.Event) {
+			// Mirror the sweep's per-trial flight-recorder span so /v1/trace
+			// tells the same story in either execution mode. Wall time already
+			// elapsed in the worker; the span records it as an annotation.
+			_, tspan := ops.StartTrack(ctx, "trial", ops.Arg{Key: "key", Val: ev.Key})
+			args := []ops.Arg{{Key: "wall_ms", Val: fmt.Sprintf("%.3f", ev.WallMS)}}
+			if ev.Cached {
+				args = append(args, ops.Arg{Key: "cached", Val: "true"})
+			}
+			if ev.Err != "" {
+				args = append(args, ops.Arg{Key: "err", Val: ev.Err})
+			}
+			tspan.End(args...)
+			s.publishTrial(c, sweep.TrialEvent{
+				Key: ev.Key, Err: ev.Err, Cached: ev.Cached,
+				Wall: time.Duration(ev.WallMS * float64(time.Millisecond)),
+				Done: ev.Done, Total: ev.Total,
+			})
+		},
+		OnExit: func(attempt int, cause string) {
+			s.mu.Lock()
+			c.st.Restarts++
+			c.st.LastExit = cause
+			st := c.st
+			s.mu.Unlock()
+			if !s.hardKill.Load() {
+				s.store.putStatus(c.id, &st)
+			}
+			s.ops.Counter("simd.worker.deaths").Inc()
+			s.log.Warn(fmt.Sprintf("campaign %s worker died (%s); death %d", c.id, cause, st.Restarts),
+				oplog.F("campaign", c.id), oplog.F("cause", cause), oplog.F("restarts", st.Restarts))
+			s.events.publish(c.id, Event{Type: "worker", Err: cause, Restarts: st.Restarts})
+		},
+		Logf: func(format string, args ...any) {
+			s.log.Debug(fmt.Sprintf(format, args...), oplog.F("campaign", c.id))
+		},
+	}
+	res, err := sup.Run(ctx, worker.Request{
+		Spec:           json.RawMessage(c.canon),
+		CacheDir:       s.store.cacheDir(),
+		ArtifactDir:    s.store.dir(c.id),
+		Workers:        s.opts.Workers,
+		TrialTimeoutMS: int64(s.opts.TrialTimeout / time.Millisecond),
+		CancelGraceMS:  int64(s.opts.CancelGrace / time.Millisecond),
+		Version:        s.opts.Version,
+	})
+	if err != nil {
+		s.mu.Lock()
+		c.cancel = nil
+		s.mu.Unlock()
+		runSpan.End(ops.Arg{Key: "err", Val: err.Error()})
+		s.settle(c, StateFailed, nil, err.Error())
+		s.log.Error(fmt.Sprintf("campaign %s worker supervisor failed", c.id),
+			oplog.F("campaign", c.id), oplog.F("err", err.Error()))
+		return
+	}
+
+	t := &tally{executed: res.Summary.Executed, cached: res.Summary.Cached, failed: res.Summary.Failed}
+	s.ops.Counter("simd.trials.executed").Add(int64(t.executed))
+	s.ops.Counter("simd.trials.cached").Add(int64(t.cached))
+	s.ops.Counter("simd.trials.failed").Add(int64(t.failed))
+	if res.Ops != nil {
+		s.ops.AddSnapshot(res.Ops)
+	}
+	runSpan.End(
+		ops.Arg{Key: "executed", Val: strconv.Itoa(t.executed)},
+		ops.Arg{Key: "cached", Val: strconv.Itoa(t.cached)},
+		ops.Arg{Key: "failed", Val: strconv.Itoa(t.failed)},
+		ops.Arg{Key: "restarts", Val: strconv.Itoa(res.Restarts)})
+
+	s.mu.Lock()
+	c.cancel = nil
+	canceled := c.cancelReq
+	total := c.st.Total
+	c.st.Restarts, c.st.LastExit = res.Restarts, res.LastExit
+	if res.State == worker.StateCrashLoop {
+		c.st.Breaker = "open"
+	}
+	s.mu.Unlock()
+
+	switch res.State {
+	case worker.StateDone:
+		// The worker wrote (and checksummed) the artifacts before its done
+		// event; nothing to persist here but the status.
+		s.settle(c, StateDone, t, "")
+		s.log.Info(fmt.Sprintf("campaign %s: %d trials: %d executed, %d cached, %d failed (%d worker restarts)",
+			c.id, total, t.executed, t.cached, t.failed, res.Restarts),
+			oplog.F("campaign", c.id), oplog.F("executed", t.executed),
+			oplog.F("cached", t.cached), oplog.F("failed", t.failed),
+			oplog.F("restarts", res.Restarts))
+
+	case worker.StateInterrupted:
+		if canceled {
+			s.settle(c, StateCanceled, t, "")
+			s.log.Info(fmt.Sprintf("campaign %s canceled", c.id), oplog.F("campaign", c.id))
+		} else {
+			s.settle(c, StateInterrupted, t, "")
+			s.log.Info(fmt.Sprintf("campaign %s interrupted: %d trials journaled for resume", c.id, t.executed+t.cached),
+				oplog.F("campaign", c.id), oplog.F("journaled", t.executed+t.cached))
+		}
+
+	case worker.StateCrashLoop:
+		s.settle(c, StateCrashLoop, t, res.Err)
+		s.log.Error(fmt.Sprintf("campaign %s crash-looped: breaker open after %d worker deaths (last: %s)",
+			c.id, res.Restarts, res.LastExit),
+			oplog.F("campaign", c.id), oplog.F("restarts", res.Restarts), oplog.F("last_exit", res.LastExit))
+
+	default: // worker.StateFailed
+		if res.Reason == worker.ReasonJournalBusy {
+			s.mu.Lock()
+			c.busy = true
+			s.mu.Unlock()
+			s.settle(c, StateFailed, t, res.Err)
+			s.log.Warn(fmt.Sprintf("campaign %s journal is held by another daemon", c.id),
+				oplog.F("campaign", c.id), oplog.F("err", res.Err))
+			return
+		}
+		s.settle(c, StateFailed, t, res.Err)
+		s.log.Error(fmt.Sprintf("campaign %s failed", c.id),
+			oplog.F("campaign", c.id), oplog.F("err", res.Err))
+	}
+}
+
+// tally is the trial accounting a settling campaign reports, shared by the
+// in-process path (from sweep.Outcome) and the worker path (from the done
+// event's Summary).
+type tally struct {
+	executed, cached, failed int
+}
+
+func outcomeTally(o *sweep.Outcome) *tally {
+	if o == nil {
+		return nil
+	}
+	return &tally{executed: o.Executed, cached: o.Cached, failed: o.Failed}
+}
+
 // settle moves a campaign to its post-run state, persists it (except under a
 // simulated crash), publishes the state transition to live streams, and
 // records the latency observation for terminal outcomes.
-func (s *Server) settle(c *campaign, state string, o *sweep.Outcome, errMsg string) {
+func (s *Server) settle(c *campaign, state string, t *tally, errMsg string) {
 	s.mu.Lock()
 	c.st.State = state
 	c.st.Err = errMsg
-	if o != nil {
-		c.st.Executed, c.st.Cached, c.st.Failed = o.Executed, o.Cached, o.Failed
+	if t != nil {
+		c.st.Executed, c.st.Cached, c.st.Failed = t.executed, t.cached, t.failed
 	}
 	st := c.st
 	elapsed := time.Since(c.submitted)
@@ -594,7 +829,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	if c, ok := s.camps[id]; ok {
-		if c.busy && c.st.Terminal() && c.built != nil {
+		// A resubmission un-wedges two terminal-but-retryable states: a
+		// journal conflict (the other daemon may be gone) and a tripped
+		// crash-loop breaker (the operator's signal to re-arm it). The
+		// dispatcher rebuilds c.built from the canonical spec if recovery
+		// left it nil.
+		if (c.busy || c.st.State == StateCrashLoop) && c.st.Terminal() {
 			s.requeueBusyLocked(w, r, c)
 			return
 		}
@@ -653,6 +893,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.store.remove(id)
 		c.waitSpan.End(ops.Arg{Key: "outcome", Val: "rejected"})
 		c.span.End(ops.Arg{Key: "state", Val: "rejected"})
+		if cas.IsNoSpace(err) {
+			// A full disk must refuse work, not half-persist it: admitting a
+			// campaign whose journal writes will fail would burn its trials.
+			s.ops.Counter("simd.rejected.no_space").Inc()
+			reject(w, http.StatusInsufficientStorage, ReasonNoSpace, err.Error(), 0)
+			return
+		}
 		reject(w, http.StatusInternalServerError, "store_error", err.Error(), 0)
 		return
 	}
@@ -689,14 +936,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, st)
 }
 
-// requeueBusyLocked retries a campaign that previously failed on a held
-// journal: the resubmission is the operator's signal that the other daemon
-// may be gone. Called with s.mu held; releases it.
+// requeueBusyLocked retries a campaign that settled terminal-but-retryable:
+// failed on a held journal (the resubmission is the operator's signal that
+// the other daemon may be gone) or crash-looped (the resubmission re-arms the
+// breaker). Called with s.mu held; releases it.
 func (s *Server) requeueBusyLocked(w http.ResponseWriter, r *http.Request, c *campaign) {
 	c.busy = false
 	c.cancelReq = false
 	c.st.State = StateQueued
 	c.st.Executed, c.st.Cached, c.st.Failed, c.st.Err = 0, 0, 0, ""
+	c.st.Restarts, c.st.LastExit, c.st.Breaker = 0, "", ""
 	c.submitted = time.Now()
 	c.span, c.waitSpan = s.openSpans(r.Context(), c.id, "requeued")
 	st := c.st
@@ -952,6 +1201,7 @@ func (s *Server) Stats() Stats {
 	states := map[string]int{
 		StateQueued: 0, StateRunning: 0, StateDone: 0,
 		StateFailed: 0, StateCanceled: 0, StateInterrupted: 0,
+		StateCrashLoop: 0,
 	}
 	s.mu.Lock()
 	for _, c := range s.camps {
@@ -969,6 +1219,7 @@ func (s *Server) Stats() Stats {
 			QueueFull:     s.ops.CounterValue("simd.rejected.queue_full"),
 			ClientBacklog: s.ops.CounterValue("simd.rejected.client_backlog"),
 			Draining:      s.ops.CounterValue("simd.rejected.draining"),
+			NoSpace:       s.ops.CounterValue("simd.rejected.no_space"),
 		},
 		Trials: TrialStats{
 			Executed: s.ops.CounterValue("simd.trials.executed"),

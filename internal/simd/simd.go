@@ -48,6 +48,7 @@ import (
 	"io"
 	"time"
 
+	cas "mkos/internal/simd/store"
 	"mkos/internal/sweep"
 	"mkos/internal/sweep/campaigns"
 )
@@ -62,6 +63,11 @@ const (
 	StateFailed      = "failed"
 	StateCanceled    = "canceled"
 	StateInterrupted = "interrupted" // in-memory/on-disk marker for drained work; re-admitted as queued
+	// StateCrashLoop is the circuit breaker's terminal state: the campaign's
+	// worker died CrashLoopK consecutive times without completing a single
+	// new trial, so the supervisor stopped restarting it. Resubmitting the
+	// campaign re-arms the breaker and requeues it.
+	StateCrashLoop = "crash_loop"
 )
 
 // Typed admission-rejection reasons, returned in ErrorResponse.Error and
@@ -79,6 +85,11 @@ const (
 	// transient deployment overlap, answered with HTTP 409. Resubmitting the
 	// campaign requeues it once the other daemon lets go.
 	ReasonJournalBusy = "journal_busy"
+	// ReasonNoSpace marks a submission the store could not persist because
+	// the disk is full (ENOSPC), answered with HTTP 507. Unlike the 429s
+	// there is no useful retry hint — the condition clears when an operator
+	// frees space, not when the client waits politely.
+	ReasonNoSpace = "no_space"
 )
 
 // Options configures a Server.
@@ -122,14 +133,58 @@ type Options struct {
 	// probes log at debug.
 	LogLevel string
 
+	// Worker, when Worker.Cmd is non-empty, moves trial execution out of
+	// process: each campaign is dispatched to a supervised child running
+	// Worker.Cmd against the shared cache dir, with restarts, heartbeats,
+	// resource ceilings and a crash-loop breaker. Empty Cmd keeps the
+	// original in-process path.
+	Worker WorkerOptions
+
+	// StoreFault, when non-nil, intercepts every atomic store write (chaos /
+	// test hook — see store.WriteFault and chaos.StoreFaults).
+	StoreFault cas.WriteFault
+
 	// Build converts a parsed spec into the runnable campaign. Nil selects
 	// the production path, campaigns.Spec.Campaign; tests substitute
 	// synthetic trial bodies while keeping the whole admission, queueing,
-	// persistence and resume machinery real.
+	// persistence and resume machinery real. Ignored by the out-of-process
+	// path: workers always build the production campaign (worker test
+	// binaries substitute their own BuildFunc).
 	Build func(*campaigns.Spec) (*sweep.Campaign, error)
 	// Observe, when non-nil, is called on every campaign state transition
 	// (test hook; called with the server lock released).
 	Observe func(id, state string)
+}
+
+// WorkerOptions configures out-of-process trial execution (the supervisor's
+// containment policy; see internal/simd/worker).
+type WorkerOptions struct {
+	// Cmd is the worker argv; element 0 is the binary. cmd/simd passes its
+	// own executable plus the hidden -worker flag. Empty disables the
+	// out-of-process path.
+	Cmd []string
+	// Env is the worker environment; nil inherits the daemon's.
+	Env []string
+	// RSSLimit, when > 0, SIGKILLs a worker whose resident set exceeds this
+	// many bytes.
+	RSSLimit int64
+	// Deadline, when > 0, bounds a campaign's total wall time across worker
+	// restarts; exceeding it is a terminal failure.
+	Deadline time.Duration
+	// HeartbeatTimeout is the supervisor's silence tolerance before it
+	// declares a worker wedged (journal mtime gets a second opinion first);
+	// <= 0 means 10s.
+	HeartbeatTimeout time.Duration
+	// CrashLoopK trips the circuit breaker after K consecutive worker deaths
+	// with no progress; <= 0 means 3.
+	CrashLoopK int
+	// BackoffBase and BackoffMax shape the deterministic restart delay
+	// min(base·2ⁱ, max); zero values mean 50ms and 2s.
+	BackoffBase, BackoffMax time.Duration
+	// SpawnHook, when non-nil, is called with the campaign name and each
+	// incarnation's attempt index and pid, immediately after spawn — the
+	// chaos WorkerKiller arms here.
+	SpawnHook func(campaign string, attempt, pid int)
 }
 
 // MaxSpecBytes bounds a submitted spec body. The stock specs are well under
@@ -179,12 +234,20 @@ type Status struct {
 	// Deduped marks a submit response that matched an existing campaign
 	// instead of admitting a new one.
 	Deduped bool `json:"deduped,omitempty"`
+	// Restarts counts worker deaths this campaign has survived (out-of-
+	// process mode only); LastExit names the most recent death's cause
+	// ("signal: killed", "exit status 2", "rss_limit", "heartbeat_stall").
+	Restarts int    `json:"restarts,omitempty"`
+	LastExit string `json:"last_exit,omitempty"`
+	// Breaker is the crash-loop circuit breaker's position: "closed" while a
+	// supervised campaign runs, "open" once it trips (state crash_loop).
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // Terminal reports whether the state is final for this daemon incarnation.
 func (s *Status) Terminal() bool {
 	switch s.State {
-	case StateDone, StateFailed, StateCanceled:
+	case StateDone, StateFailed, StateCanceled, StateCrashLoop:
 		return true
 	}
 	return false
@@ -224,10 +287,13 @@ type RejectStats struct {
 	QueueFull     int64 `json:"queue_full"`
 	ClientBacklog int64 `json:"client_backlog"`
 	Draining      int64 `json:"draining"`
+	NoSpace       int64 `json:"no_space"`
 }
 
 // Total sums every rejection reason.
-func (r RejectStats) Total() int64 { return r.QueueFull + r.ClientBacklog + r.Draining }
+func (r RejectStats) Total() int64 {
+	return r.QueueFull + r.ClientBacklog + r.Draining + r.NoSpace
+}
 
 // TrialStats aggregates trial outcomes across campaigns.
 type TrialStats struct {

@@ -3,14 +3,12 @@ package simd
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
+
+	cas "mkos/internal/simd/store"
 )
 
-// store is the daemon's on-disk state: one directory per campaign holding
-// the canonical spec, the latest status, and — once done — the
-// deterministic artifacts, next to the shared sweep cache/journal
-// directory. Layout:
+// store adapts the integrity-checked campaign store (internal/simd/store) to
+// the daemon's vocabulary. Layout:
 //
 //	<root>/cache/                    shared trial cache + campaign journals
 //	<root>/campaigns/<id>/spec.json   canonical spec (written once, at admit)
@@ -20,59 +18,32 @@ import (
 //
 // Every write is atomic (temp file + rename), so a SIGKILL at any instant
 // leaves each file either absent, previous, or current — never torn. The
-// recovery scan treats a campaign whose status is non-terminal (or whose
-// status.json is missing or torn) as unfinished and re-admits it; the sweep
-// journal then makes the resume free.
+// deterministic artifacts additionally carry sha256 sidecars, verified on
+// read and scrubbed at startup; status.json is exempt (it is rewritten on
+// every transition and recovery already tolerates a stale or missing one).
 type store struct {
-	root string
+	d *cas.Dir
 }
 
-func openStore(root string) (*store, error) {
-	s := &store{root: root}
-	for _, d := range []string{s.cacheDir(), s.campaignsDir()} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
-			return nil, fmt.Errorf("simd: creating store: %w", err)
-		}
-	}
-	return s, nil
-}
-
-func (s *store) cacheDir() string            { return filepath.Join(s.root, "cache") }
-func (s *store) campaignsDir() string        { return filepath.Join(s.root, "campaigns") }
-func (s *store) dir(id string) string        { return filepath.Join(s.campaignsDir(), id) }
-func (s *store) path(id, name string) string { return filepath.Join(s.dir(id), name) }
-
-// writeFileAtomic lands blob at path via a same-directory temp file and
-// rename.
-func writeFileAtomic(path string, blob []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+func openStore(root string, fault cas.WriteFault) (*store, error) {
+	d, err := cas.Open(root)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("simd: creating store: %w", err)
 	}
-	name := tmp.Name()
-	_, werr := tmp.Write(blob)
-	serr := tmp.Sync()
-	cerr := tmp.Close()
-	if werr != nil || serr != nil || cerr != nil {
-		os.Remove(name)
-		return fmt.Errorf("writing %s: %v/%v/%v", path, werr, serr, cerr)
-	}
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return nil
+	d.Fault = fault
+	return &store{d: d}, nil
 }
+
+func (s *store) cacheDir() string            { return s.d.CacheDir() }
+func (s *store) dir(id string) string        { return s.d.CampaignDir(id) }
+func (s *store) path(id, name string) string { return s.d.Path(id, name) }
 
 // admit persists a newly admitted campaign: its spec (the canonical form its
-// ID hashes) and its queued status. Persist-then-respond ordering is what
-// makes admission durable: once a client holds a 202, a crash cannot lose
-// the campaign.
+// ID hashes, sidecar-checksummed — a corrupted spec is unresumable) and its
+// queued status. Persist-then-respond ordering is what makes admission
+// durable: once a client holds a 202, a crash cannot lose the campaign.
 func (s *store) admit(id string, canonSpec []byte, st *Status) error {
-	if err := os.MkdirAll(s.dir(id), 0o755); err != nil {
-		return err
-	}
-	if err := writeFileAtomic(s.path(id, "spec.json"), canonSpec); err != nil {
+	if err := s.d.WriteArtifact(s.d.Path(id, "spec.json"), canonSpec); err != nil {
 		return err
 	}
 	return s.putStatus(id, st)
@@ -84,32 +55,36 @@ func (s *store) putStatus(id string, st *Status) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(s.path(id, "status.json"), append(blob, '\n'))
+	return s.d.WriteFile(s.d.Path(id, "status.json"), append(blob, '\n'))
 }
 
-// putArtifacts persists the deterministic campaign artifacts. results.json
-// is written before status flips to done, so a "done" status always has
-// results behind it; a crash between the two re-runs the campaign from the
-// journal and rewrites byte-identical artifacts.
+// putArtifacts persists the deterministic campaign artifacts with sidecars.
+// results.json is written before status flips to done, so a "done" status
+// always has results behind it; a crash between the two re-runs the campaign
+// from the journal and rewrites byte-identical artifacts.
 func (s *store) putArtifacts(id string, results, metrics []byte) error {
-	if err := writeFileAtomic(s.path(id, "results.json"), results); err != nil {
+	if err := s.d.WriteArtifact(s.d.Path(id, "results.json"), results); err != nil {
 		return err
 	}
-	return writeFileAtomic(s.path(id, "metrics.txt"), metrics)
+	return s.d.WriteArtifact(s.d.Path(id, "metrics.txt"), metrics)
 }
 
 // remove deletes a campaign's directory — the undo of admit, for campaigns
 // whose admission did not complete (queue rejection after the spec was
 // persisted). A queued status left behind would resurrect the rejected
 // submission at the next recovery, bypassing admission control.
-func (s *store) remove(id string) error {
-	return os.RemoveAll(s.dir(id))
+func (s *store) remove(id string) error { return s.d.Remove(id) }
+
+// results loads the deterministic results artifact, verifying its sidecar; a
+// mismatch quarantines the file and returns store.ErrCorrupt.
+func (s *store) results(id string) ([]byte, error) {
+	return s.d.ReadArtifact(s.d.Path(id, "results.json"))
 }
 
-// results loads the deterministic results artifact.
-func (s *store) results(id string) ([]byte, error) {
-	return os.ReadFile(s.path(id, "results.json"))
-}
+// scrub verifies every checksummed artifact in the store, quarantining
+// mismatches and backfilling missing sidecars (pre-integrity stores upgrade
+// in place).
+func (s *store) scrub() (cas.ScrubReport, error) { return s.d.Scrub() }
 
 // storedCampaign is one recovered campaign from a store scan.
 type storedCampaign struct {
@@ -118,30 +93,21 @@ type storedCampaign struct {
 	status Status // zero-valued (State "") when status.json is missing/torn
 }
 
-// scan enumerates the persisted campaigns in lexical id order (ReadDir
-// sorts), tolerating torn or missing status files. A campaign directory
-// without a parseable spec is quarantined by rename — it cannot be resumed
-// and must not shadow a future resubmission of the same id.
+// scan enumerates the persisted campaigns in lexical id order, tolerating
+// torn or missing status files. A campaign directory without a verifiable
+// spec is quarantined by rename — it cannot be resumed and must not shadow a
+// future resubmission of the same id.
 func (s *store) scan() ([]storedCampaign, error) {
-	ents, err := os.ReadDir(s.campaignsDir())
+	stored, err := s.d.Scan()
 	if err != nil {
 		return nil, err
 	}
-	var out []storedCampaign
-	for _, e := range ents {
-		if !e.IsDir() {
-			continue
-		}
-		id := e.Name()
-		spec, err := os.ReadFile(s.path(id, "spec.json"))
-		if err != nil {
-			os.Rename(s.dir(id), s.dir(id)+".corrupt")
-			continue
-		}
-		sc := storedCampaign{id: id, spec: spec}
-		if blob, err := os.ReadFile(s.path(id, "status.json")); err == nil {
+	out := make([]storedCampaign, 0, len(stored))
+	for _, c := range stored {
+		sc := storedCampaign{id: c.ID, spec: c.Spec}
+		if len(c.Status) > 0 {
 			var st Status
-			if json.Unmarshal(blob, &st) == nil {
+			if json.Unmarshal(c.Status, &st) == nil {
 				sc.status = st
 			}
 		}

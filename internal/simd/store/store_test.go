@@ -1,0 +1,277 @@
+package store_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"mkos/internal/fault/chaos"
+	"mkos/internal/simd/store"
+)
+
+func open(t *testing.T) *store.Dir {
+	t.Helper()
+	d, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// tempDebris returns any leftover .tmp-* files under the campaigns tree —
+// the atomic-write contract says there are never any after a write returns.
+func tempDebris(t *testing.T, d *store.Dir) []string {
+	t.Helper()
+	var out []string
+	filepath.Walk(d.CampaignsDir(), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out
+}
+
+func TestArtifactRoundTripAndSidecar(t *testing.T) {
+	d := open(t)
+	path := d.Path("c1", "results.json")
+	blob := []byte("[{\"k\":1}]\n")
+	if err := d.WriteArtifact(path, blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".sha256"); err != nil {
+		t.Fatalf("sidecar missing: %v", err)
+	}
+	got, err := d.ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatalf("round trip: got %q want %q", got, blob)
+	}
+	if debris := tempDebris(t, d); len(debris) > 0 {
+		t.Fatalf("temp debris after clean write: %v", debris)
+	}
+}
+
+// TestShortWriteLeavesNoTornTarget pins the atomic-write contract under an
+// injected short write: the error surfaces, the temp file is cleaned up, and
+// the target keeps its previous content.
+func TestShortWriteLeavesNoTornTarget(t *testing.T) {
+	d := open(t)
+	path := d.Path("c1", "status.json")
+	if err := d.WriteFile(path, []byte("previous\n")); err != nil {
+		t.Fatal(err)
+	}
+	d.Fault = func(p string, blob []byte) ([]byte, error) {
+		return blob[:len(blob)/2], errors.New("injected short write")
+	}
+	if err := d.WriteFile(path, []byte("next-status-content\n")); err == nil {
+		t.Fatal("short write reported success")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "previous\n" {
+		t.Fatalf("target torn by failed write: %q", got)
+	}
+	if debris := tempDebris(t, d); len(debris) > 0 {
+		t.Fatalf("temp debris after failed write: %v", debris)
+	}
+}
+
+// TestNoSpaceIsTyped pins the ENOSPC contract: the error is recognizable via
+// IsNoSpace through every wrapping layer, and nothing lands on disk.
+func TestNoSpaceIsTyped(t *testing.T) {
+	d := open(t)
+	d.Fault = func(p string, blob []byte) ([]byte, error) {
+		return nil, fmt.Errorf("disk full: %w", syscall.ENOSPC)
+	}
+	err := d.WriteArtifact(d.Path("c1", "results.json"), []byte("x"))
+	if err == nil {
+		t.Fatal("ENOSPC write reported success")
+	}
+	if !store.IsNoSpace(err) {
+		t.Fatalf("IsNoSpace(%v) = false", err)
+	}
+	if _, serr := os.Stat(d.Path("c1", "results.json")); !os.IsNotExist(serr) {
+		t.Fatalf("target exists after ENOSPC: %v", serr)
+	}
+	if debris := tempDebris(t, d); len(debris) > 0 {
+		t.Fatalf("temp debris after ENOSPC: %v", debris)
+	}
+}
+
+// TestReadArtifactQuarantinesCorruption pins the checksum story: flipped
+// bytes are detected on read, the artifact moves to *.corrupt, and a retry
+// reads "missing", not "corrupt" — damage is observed exactly once.
+func TestReadArtifactQuarantinesCorruption(t *testing.T) {
+	d := open(t)
+	path := d.Path("c1", "results.json")
+	if err := d.WriteArtifact(path, []byte("pristine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.ReadArtifact(path)
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("read of tampered artifact: %v, want ErrCorrupt", err)
+	}
+	if _, serr := os.Stat(path + ".corrupt"); serr != nil {
+		t.Fatalf("tampered artifact not quarantined: %v", serr)
+	}
+	if _, err := d.ReadArtifact(path); !os.IsNotExist(err) {
+		t.Fatalf("second read after quarantine: %v, want not-exist", err)
+	}
+}
+
+// TestScrub covers the three scrubber actions in one store: verifying intact
+// artifacts, quarantining a corrupted one, and backfilling a missing sidecar.
+func TestScrub(t *testing.T) {
+	d := open(t)
+	if err := d.WriteArtifact(d.Path("ok", "spec.json"), []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteArtifact(d.Path("bad", "results.json"), []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.Path("bad", "results.json"), []byte("rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A pre-checksum store: artifact without sidecar.
+	if err := os.MkdirAll(d.CampaignDir("old"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.Path("old", "metrics.txt"), []byte("m 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := d.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked != 1 || rep.Backfilled != 1 || len(rep.Quarantined) != 1 {
+		t.Fatalf("scrub report %+v, want checked=1 backfilled=1 quarantined=1", rep)
+	}
+	if rep.Quarantined[0] != d.Path("bad", "results.json") {
+		t.Fatalf("quarantined %q", rep.Quarantined[0])
+	}
+	if _, serr := os.Stat(d.Path("bad", "results.json") + ".corrupt"); serr != nil {
+		t.Fatalf("corrupt artifact not renamed: %v", serr)
+	}
+	// The backfilled artifact now verifies.
+	if _, err := d.ReadArtifact(d.Path("old", "metrics.txt")); err != nil {
+		t.Fatalf("backfilled artifact unreadable: %v", err)
+	}
+
+	// Idempotence: a second pass finds a converged store — nothing new to
+	// quarantine or backfill.
+	rep2, err := d.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Quarantined) != 0 || rep2.Backfilled != 0 {
+		t.Fatalf("second scrub not clean: %+v", rep2)
+	}
+}
+
+// TestScrubRemovesOrphanSidecars: a sidecar whose artifact vanished carries
+// no information and is deleted.
+func TestScrubRemovesOrphanSidecars(t *testing.T) {
+	d := open(t)
+	path := d.Path("c1", "results.json")
+	if err := d.WriteArtifact(path, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := os.Stat(path + ".sha256"); !os.IsNotExist(serr) {
+		t.Fatalf("orphan sidecar survived scrub: %v", serr)
+	}
+}
+
+// TestScanQuarantinesCorruptSpec: a campaign whose spec fails verification
+// cannot be resumed and is quarantined wholesale, while intact neighbors are
+// returned.
+func TestScanQuarantinesCorruptSpec(t *testing.T) {
+	d := open(t)
+	if err := d.WriteArtifact(d.Path("good", "spec.json"), []byte(`{"name":"g"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteArtifact(d.Path("evil", "spec.json"), []byte(`{"name":"e"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.Path("evil", "spec.json"), []byte(`{"name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := d.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 1 || stored[0].ID != "good" {
+		t.Fatalf("scan returned %+v, want only campaign \"good\"", stored)
+	}
+	if _, serr := os.Stat(d.CampaignDir("evil") + ".corrupt"); serr != nil {
+		t.Fatalf("corrupt campaign dir not quarantined: %v", serr)
+	}
+}
+
+// TestChaosStoreFaults drives the store through the seeded chaos injector:
+// short writes fail loudly with intact targets, the ENOSPC budget turns every
+// later write into a typed no-space error, and after the storm a scrub finds
+// nothing to quarantine — the survivors are all internally consistent.
+func TestChaosStoreFaults(t *testing.T) {
+	d := open(t)
+	faults := &chaos.StoreFaults{Plan: chaos.NewPlan(11), ShortPct: 40, NoSpaceAfter: 30}
+	d.Fault = faults.Fault
+
+	var failed, wrote int
+	for i := 0; i < 25; i++ {
+		id := fmt.Sprintf("c%02d", i)
+		blob := []byte(fmt.Sprintf("{\"i\":%d}\n", i))
+		if err := d.WriteArtifact(d.Path(id, "results.json"), blob); err != nil {
+			failed++
+			if !store.IsNoSpace(err) && !errors.Is(err, chaos.ErrShortWrite) {
+				t.Fatalf("write %d failed with untyped error: %v", i, err)
+			}
+			continue
+		}
+		wrote++
+	}
+	if failed == 0 {
+		t.Fatalf("chaos plan injected no faults across %d writes (writes seen: %d)", 25, faults.Writes())
+	}
+	if debris := tempDebris(t, d); len(debris) > 0 {
+		t.Fatalf("temp debris after chaos storm: %v", debris)
+	}
+
+	d.Fault = nil
+	rep, err := d.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("scrub after chaos quarantined %v — a fault tore an artifact", rep.Quarantined)
+	}
+
+	// Determinism: the same seed injects the same fault schedule.
+	a := &chaos.StoreFaults{Plan: chaos.NewPlan(11), ShortPct: 40}
+	b := &chaos.StoreFaults{Plan: chaos.NewPlan(11), ShortPct: 40}
+	for i := 0; i < 50; i++ {
+		_, aerr := a.Fault("p", []byte("0123456789"))
+		_, berr := b.Fault("p", []byte("0123456789"))
+		if (aerr == nil) != (berr == nil) {
+			t.Fatalf("fault schedule diverged at write %d", i)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package worker
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// rssBytes reads the worker's resident set size from /proc/<pid>/statm
+// (field 2, in pages). ok is false when the process is gone or the file is
+// unreadable — a vanished worker is the pipe EOF's problem, not the RSS
+// ceiling's.
+func rssBytes(pid int) (int64, bool) {
+	b, err := os.ReadFile("/proc/" + strconv.Itoa(pid) + "/statm")
+	if err != nil {
+		return 0, false
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0, false
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return pages * int64(os.Getpagesize()), true
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package worker
+
+// rssBytes has no portable implementation; the RSS ceiling is enforced only
+// where /proc exists.
+func rssBytes(pid int) (int64, bool) { return 0, false }

@@ -1,0 +1,18 @@
+//go:build linux
+
+package worker
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig ties the worker's life to the daemon's: if the daemon is
+// SIGKILLed, the kernel delivers SIGKILL to the worker too, so a crashed
+// daemon never leaves an orphan holding the campaign's journal flock.
+func setPdeathsig(c *exec.Cmd) {
+	if c.SysProcAttr == nil {
+		c.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	c.SysProcAttr.Pdeathsig = syscall.SIGKILL
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package worker
+
+import "os/exec"
+
+// setPdeathsig is linux-only; elsewhere an orphaned worker simply finishes
+// its campaign (the journal flock it holds is released when it exits).
+func setPdeathsig(c *exec.Cmd) {}

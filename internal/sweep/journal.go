@@ -64,6 +64,56 @@ func campaignID(version, name string, seed int64) string {
 	return hex.EncodeToString(h.Sum(nil))[:12]
 }
 
+// JournalPath returns the on-disk path of the campaign's journal under dir
+// for the given cache version ("" selects CodeVersion()), name and seed —
+// the same derivation openJournal uses. Supervisors watch this file's mtime
+// as a liveness signal for an out-of-process campaign run.
+func JournalPath(dir, version, name string, seed int64) string {
+	if version == "" {
+		version = CodeVersion()
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s-%s.journal", slugName(name), campaignID(version, name, seed)))
+}
+
+// ProbeJournal briefly acquires the campaign journal's advisory flock and
+// returns how many finished trials it records. It is the dispatcher-side
+// preflight for handing a journal to a worker process: a held lock surfaces
+// as ErrJournalBusy *before* a worker is spawned (and burned against its
+// restart budget), and the lock is released on every return path — success
+// or error — so the probe can never leave the journal unacquirable. A
+// missing journal is an empty one.
+func ProbeJournal(dir, version, name string, seed int64) (entries int, err error) {
+	f, err := os.Open(JournalPath(dir, version, name, seed))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("sweep: probing campaign journal: %w", err)
+	}
+	// The flock belongs to this open descriptor, so the deferred Close
+	// releases it on every path out of this function, including error
+	// returns — a probe must never turn into a lock leak.
+	defer f.Close()
+	if err := lockJournalFile(f); err != nil {
+		if errors.Is(err, ErrJournalBusy) {
+			return 0, fmt.Errorf("sweep: campaign %q journal: %w", name, ErrJournalBusy)
+		}
+		return 0, fmt.Errorf("sweep: locking campaign journal: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		var e journalEntry
+		if json.Unmarshal(sc.Bytes(), &e) == nil && e.Hash != "" {
+			entries++
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return entries, fmt.Errorf("sweep: reading campaign journal: %w", serr)
+	}
+	return entries, nil
+}
+
 // openJournal loads (or creates) the campaign's journal under dir and opens
 // it for appending. Unparseable lines — a truncated tail from a kill — are
 // skipped; later entries for the same hash win. The append descriptor holds

@@ -1,0 +1,112 @@
+package sweep_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mkos/internal/sweep"
+)
+
+// TestProbeJournal pins the dispatcher-preflight contract of
+// sweep.ProbeJournal across its whole lifecycle against one campaign:
+//
+//   - a campaign that never ran probes as empty (missing journal = 0 entries);
+//   - while a run holds the journal flock, the probe fails fast with the
+//     typed ErrJournalBusy instead of blocking or lying;
+//   - after the run releases the lock, the probe counts exactly the journaled
+//     trials — and, the regression this test exists for, the probe's own
+//     flock is released on every path, so a real run (the second acquirer)
+//     succeeds immediately after any number of probes.
+func TestProbeJournal(t *testing.T) {
+	dir := t.TempDir()
+	const version = "probe-v1"
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	build := func(block bool) *sweep.Campaign {
+		c := &sweep.Campaign{Name: "probed", Seed: 9}
+		for i := 0; i < 3; i++ {
+			i := i
+			c.Trials = append(c.Trials, sweep.Trial{
+				Key:  fmt.Sprintf("pb/n%02d", i),
+				Spec: synthSpec{ID: i, Scale: 1},
+				Run: func(tt *sweep.T) (any, error) {
+					if block && i == 0 {
+						close(entered)
+						<-gate
+					}
+					return map[string]int64{"seed": tt.Seed}, nil
+				},
+			})
+		}
+		return c
+	}
+
+	// Never-ran campaign: a missing journal is an empty one, not an error.
+	if n, err := sweep.ProbeJournal(dir, version, "probed", 9); n != 0 || err != nil {
+		t.Fatalf("probe of missing journal = (%d, %v), want (0, nil)", n, err)
+	}
+
+	opts := sweep.Options{Workers: 1, CacheDir: dir, Version: version}
+	type res struct {
+		o   *sweep.Outcome
+		err error
+	}
+	first := make(chan res, 1)
+	go func() {
+		o, err := sweep.Run(build(true), opts)
+		first <- res{o, err}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocking campaign never started its first trial")
+	}
+
+	// Held lock: the probe reports busy without waiting for the run.
+	if _, err := sweep.ProbeJournal(dir, version, "probed", 9); !errors.Is(err, sweep.ErrJournalBusy) {
+		t.Fatalf("probe of held journal returned %v, want ErrJournalBusy", err)
+	}
+
+	close(gate)
+	r := <-first
+	if r.err != nil {
+		t.Fatalf("blocking campaign failed: %v", r.err)
+	}
+	if r.o.Executed != 3 {
+		t.Fatalf("blocking campaign executed %d trials, want 3", r.o.Executed)
+	}
+
+	// Released lock: the probe counts the journaled trials, and repeated
+	// probes all succeed — each one released its flock before returning.
+	for i := 0; i < 3; i++ {
+		n, err := sweep.ProbeJournal(dir, version, "probed", 9)
+		if err != nil {
+			t.Fatalf("probe %d after release: %v", i, err)
+		}
+		if n != 3 {
+			t.Fatalf("probe %d counted %d entries, want 3", i, n)
+		}
+	}
+
+	// The two-acquirer regression: a probe must never leave the journal
+	// unacquirable, so a real run right after probing succeeds and resumes
+	// fully from the journal.
+	o, err := sweep.Run(build(false), opts)
+	if err != nil {
+		t.Fatalf("run after probes hit the lock: %v", err)
+	}
+	if o.Executed != 0 || o.Cached != 3 {
+		t.Fatalf("run after probes executed %d / cached %d, want 0/3", o.Executed, o.Cached)
+	}
+
+	// A different campaign identity has its own journal path and probes
+	// independently.
+	if n, err := sweep.ProbeJournal(dir, version, "probed", 10); n != 0 || err != nil {
+		t.Fatalf("probe of sibling identity = (%d, %v), want (0, nil)", n, err)
+	}
+	if p1, p2 := sweep.JournalPath(dir, version, "probed", 9), sweep.JournalPath(dir, version, "probed", 10); p1 == p2 {
+		t.Fatalf("distinct identities share a journal path: %s", p1)
+	}
+}

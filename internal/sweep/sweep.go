@@ -154,6 +154,14 @@ type Options struct {
 	// the cause to re-run exactly the failed set.
 	RetryFailed bool
 
+	// Heartbeat, when non-nil, is called once after the cache/journal probe
+	// and once per trial the pool retires (finished, timed out or canceled —
+	// any progress). It exists for out-of-process supervision: a worker
+	// process forwards each beat over its pipe so the supervising daemon can
+	// distinguish "slow trial" from "wedged worker" without parsing the
+	// journal. It runs on orchestrator goroutines and must not block.
+	Heartbeat func()
+
 	// OnTrial, when non-nil, receives one event per finished trial — both
 	// trials restored from the cache/journal during the probe (in sorted key
 	// order) and trials executed by the pool. For executed trials the
@@ -426,6 +434,9 @@ func RunContext(ctx context.Context, c *Campaign, opts Options) (*Outcome, error
 	probeSpan.End(
 		ops.Arg{Key: "restored", Val: strconv.Itoa(len(trials) - len(pending))},
 		ops.Arg{Key: "pending", Val: strconv.Itoa(len(pending))})
+	if opts.Heartbeat != nil {
+		opts.Heartbeat()
+	}
 
 	prog := newProgress(c.Name, len(trials), len(trials)-len(pending), opts)
 	runPool(ctx, workers, pending, func(i int) {
@@ -436,6 +447,9 @@ func RunContext(ctx context.Context, c *Campaign, opts Options) (*Outcome, error
 		res, rec, status := runTrial(tctx, t, results[i].Seed, opts)
 		span.End(ops.Arg{Key: "status", Val: statusLabel(status, res)})
 		results[i], recorders[i], statuses[i] = res, rec, status
+		if opts.Heartbeat != nil {
+			opts.Heartbeat()
+		}
 		if status == statusNotRun || status == statusCanceledLeaked {
 			return // canceled mid-run: nothing to record, the trial re-runs on resume
 		}
